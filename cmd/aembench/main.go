@@ -1,0 +1,75 @@
+// Command aembench regenerates the repository's experiments: one table per
+// theorem/lemma of "Lower Bounds in the Asymmetric External Memory Model"
+// (Jacob & Sitchinava, SPAA 2017). See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	aembench -list            list experiment ids
+//	aembench                  run every experiment, tables to stdout
+//	aembench -exp EXP-P1      run one experiment
+//	aembench -csv out/        additionally write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment id to run, or 'all'")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files into")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []harness.Experiment
+	if *expID == "all" {
+		exps = harness.All()
+	} else {
+		e, ok := harness.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "aembench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "aembench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range exps {
+		tbl := e.Run()
+		tbl.Render(os.Stdout)
+		if *csvDir != "" {
+			name := strings.ToLower(strings.ReplaceAll(e.ID, "EXP-", "exp_")) + ".csv"
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aembench: %v\n", err)
+				os.Exit(1)
+			}
+			tbl.CSV(f)
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aembench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Priority queue scenario: discrete-event simulation on NVM-resident
+// state. Events live in an external-memory sequence heap; each processed
+// event schedules follow-up events (here: a token-passing cascade), so
+// Push and DeleteMin interleave — the access pattern that distinguishes a
+// priority queue from a sort.
+//
+//	go run ./examples/priorityqueue
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.Config{M: 512, B: 16, Omega: 16}
+	ma := core.NewMachine(cfg)
+	q := core.NewPriorityQueue(ma)
+
+	// Seed the simulation with initial events at random times.
+	rng := workload.NewRNG(99)
+	const seedEvents = 5000
+	var id int64
+	for i := 0; i < seedEvents; i++ {
+		q.Push(aem.Item{Key: int64(rng.Intn(1 << 20)), Aux: id})
+		id++
+	}
+
+	// Run the event loop: each event has a 1/3 chance of scheduling a
+	// follow-up at a strictly later time (so the simulation terminates).
+	var processed int
+	var lastTime int64 = -1
+	for {
+		ev, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		if ev.Key < lastTime {
+			panic("event times went backwards — priority queue broken")
+		}
+		lastTime = ev.Key
+		processed++
+		if rng.Intn(3) == 0 {
+			q.Push(aem.Item{Key: ev.Key + 1 + int64(rng.Intn(1000)), Aux: id})
+			id++
+		}
+	}
+	q.Close()
+
+	st := ma.Stats()
+	fmt.Printf("discrete-event simulation on a (M=%d, B=%d, ω=%d)-AEM\n", cfg.M, cfg.B, cfg.Omega)
+	fmt.Printf("  events processed  %d (%d seeded, %d cascaded)\n", processed, seedEvents, processed-seedEvents)
+	fmt.Printf("  event order       verified monotone in time\n")
+	fmt.Printf("  reads             %d\n", st.Reads)
+	fmt.Printf("  writes            %d   (%.2f per event — the sequence heap batches them)\n",
+		st.Writes, float64(st.Writes)/float64(processed))
+	fmt.Printf("  cost Q            %d\n", ma.Cost())
+}

@@ -1,0 +1,257 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/flash"
+	"repro/internal/permute"
+	"repro/internal/pq"
+	"repro/internal/program"
+	"repro/internal/sorting"
+	"repro/internal/spmxv"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSortersAgree runs every sorting algorithm in the repository on the
+// same inputs and machines and demands identical outputs.
+func TestSortersAgree(t *testing.T) {
+	cfgs := []aem.Config{
+		{M: 64, B: 8, Omega: 1},
+		{M: 64, B: 8, Omega: 4},
+		{M: 128, B: 4, Omega: 32},
+	}
+	for _, cfg := range cfgs {
+		for _, dist := range workload.Dists() {
+			in := workload.Keys(workload.NewRNG(99), dist, 3000)
+			var ref []aem.Item
+			for name, sortFn := range map[string]func(*aem.Machine, *aem.Vector) *aem.Vector{
+				"mergesort": sorting.MergeSort,
+				"emsort":    sorting.EMMergeSort,
+				"samplesort": func(ma *aem.Machine, v *aem.Vector) *aem.Vector {
+					return sorting.EMSampleSort(ma, v, 5)
+				},
+				"heapsort": pq.HeapSort,
+			} {
+				if name == "heapsort" && cfg.M < 16*cfg.B {
+					continue // below the sequence heap's documented minimum
+				}
+				ma := aem.New(cfg)
+				got := sortFn(ma, aem.Load(ma, in)).Materialize()
+				if !sorting.IsSorted(got) {
+					t.Fatalf("%s cfg=%+v dist=%v: not sorted", name, cfg, dist)
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s cfg=%+v dist=%v: outputs disagree at %d", name, cfg, dist, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPermuteThenSortRoundTrip permutes with one strategy and inverts with
+// the other; the composition must be the identity.
+func TestPermuteThenSortRoundTrip(t *testing.T) {
+	cfg := aem.Config{M: 128, B: 8, Omega: 4}
+	const n = 2048
+	ma := aem.New(cfg)
+	items, perm := workload.Permutation(workload.NewRNG(3), n)
+	v := aem.Load(ma, items)
+
+	forward := permute.Direct(ma, v, perm)
+	// Re-tag each item with its original position (stored in Aux) as the
+	// new destination, then invert by sorting.
+	tagged := forward.Materialize()
+	for i := range tagged {
+		tagged[i] = aem.Item{Key: tagged[i].Aux, Aux: tagged[i].Aux}
+	}
+	back := permute.SortBased(ma, aem.Load(ma, tagged))
+	got := back.Materialize()
+	for i, it := range got {
+		if it.Aux != int64(i) {
+			t.Fatalf("round trip broke at position %d: %v", i, it)
+		}
+	}
+}
+
+// TestTraceOfSortConvertsAndDecomposes ties three modules together: a real
+// mergesort execution's trace decomposes into valid §4 rounds and its
+// Lemma 4.1 conversion respects the budget.
+func TestTraceOfSortConvertsAndDecomposes(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 8, Omega: 8}
+	ma := aem.New(cfg)
+	ma.StartTrace()
+	in := workload.Keys(workload.NewRNG(4), workload.Random, 4096)
+	sorting.MergeSort(ma, aem.Load(ma, in))
+	ops := ma.StopTrace()
+
+	rounds := trace.Decompose(ops, cfg)
+	if err := trace.CheckDecomposition(rounds, ops, cfg); err != nil {
+		t.Fatal(err)
+	}
+	conv := trace.Convert(ops, cfg)
+	if budget := 3*conv.Original + 4*int64(cfg.Omega)*int64(cfg.BlocksInMemory()); conv.Converted > budget {
+		t.Errorf("conversion %d exceeds budget %d", conv.Converted, budget)
+	}
+	// The trace's own cost must equal the machine's accounting.
+	if conv.Original != ma.Cost() {
+		t.Errorf("trace cost %d != machine cost %d", conv.Original, ma.Cost())
+	}
+}
+
+// TestCountingBoundFloorsEverySorter checks Theorem 4.5 against every
+// sorting algorithm: no measured cost may beat the counting lower bound
+// (evaluated at 2M per Corollary 4.2).
+func TestCountingBoundFloorsEverySorter(t *testing.T) {
+	cfg := aem.Config{M: 128, B: 8, Omega: 8}
+	const n = 1 << 13
+	lb := bounds.CountingLowerBound(bounds.Params{N: n,
+		Cfg: aem.Config{M: 2 * cfg.M, B: cfg.B, Omega: cfg.Omega}})
+	in := workload.Keys(workload.NewRNG(5), workload.Random, n)
+	for name, sortFn := range map[string]func(*aem.Machine, *aem.Vector) *aem.Vector{
+		"mergesort": sorting.MergeSort,
+		"emsort":    sorting.EMMergeSort,
+		"samplesort": func(ma *aem.Machine, v *aem.Vector) *aem.Vector {
+			return sorting.EMSampleSort(ma, v, 6)
+		},
+		"heapsort": pq.HeapSort,
+	} {
+		ma := aem.New(cfg)
+		sortFn(ma, aem.Load(ma, in))
+		if float64(ma.Cost()) < lb {
+			t.Errorf("%s cost %d beats the lower bound %.0f — impossible; simulator accounting broken", name, ma.Cost(), lb)
+		}
+	}
+}
+
+// TestSpMxVBothAlgorithmsAllRegimes crosses δ regimes with machines on
+// both sides of the Theorem 5.1 min{} and verifies against the dense
+// reference every time.
+func TestSpMxVBothAlgorithmsAllRegimes(t *testing.T) {
+	for _, cfg := range []aem.Config{
+		{M: 64, B: 4, Omega: 64}, // naive regime
+		{M: 256, B: 32, Omega: 1},
+	} {
+		for _, delta := range []int{1, 3, 4, 5, 32, 33} {
+			rng := workload.NewRNG(uint64(delta) + 7)
+			conf := workload.NewConformation(rng, 128, delta)
+			values := make([]int64, conf.H())
+			for i := range values {
+				values[i] = int64(rng.Intn(9) - 4)
+			}
+			x := make([]int64, 128)
+			for i := range x {
+				x[i] = int64(rng.Intn(9) - 4)
+			}
+			for name, f := range map[string]func(*aem.Machine, *spmxv.Matrix, *aem.Vector) *aem.Vector{
+				"naive": spmxv.Naive,
+				"sort":  spmxv.SortBased,
+			} {
+				ma := aem.New(cfg)
+				m := spmxv.NewMatrix(ma, conf, values)
+				y := f(ma, m, spmxv.LoadDense(ma, x))
+				if err := spmxv.VerifyProduct(conf, values, x, y); err != nil {
+					t.Fatalf("%s cfg=%+v δ=%d: %v", name, cfg, delta, err)
+				}
+			}
+		}
+	}
+}
+
+// TestProofPipelineAtScale runs the program → Lemma 4.1 → Lemma 4.3 chain
+// on a larger permutation than the unit tests use and checks every paper
+// budget along the way.
+func TestProofPipelineAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second pipeline")
+	}
+	cfg := aem.Config{M: 64, B: 16, Omega: 4}
+	const n = 4096
+	_, perm := workload.Permutation(workload.NewRNG(8), n)
+	p, err := program.FromPermutation(cfg, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := program.Run(p, program.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := program.ConvertToRoundBased(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := program.Run(rb, program.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Placement.Equal(conv.Placement) {
+		t.Fatal("Lemma 4.1 changed the permutation")
+	}
+	if budget := 3*orig.Cost(cfg.Omega) + 4*int64(cfg.Omega)*int64(cfg.BlocksInMemory()); conv.Cost(cfg.Omega) > budget {
+		t.Errorf("Lemma 4.1 cost %d > budget %d", conv.Cost(cfg.Omega), budget)
+	}
+	fp, err := flash.SimulateAEM(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flash.Run(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Volume() > flash.VolumeBound(rb) {
+		t.Errorf("Lemma 4.3 volume %d > bound %d", fp.Volume(), flash.VolumeBound(rb))
+	}
+	for a, addr := range orig.Placement {
+		if res.Placement[a] != addr {
+			t.Fatal("Lemma 4.3 changed the permutation")
+		}
+	}
+	// And the chain's cost is floored by the counting bound at 2·(2M).
+	lb := bounds.CountingLowerBound(bounds.Params{N: n,
+		Cfg: aem.Config{M: 2 * rb.Cfg.M, B: cfg.B, Omega: cfg.Omega}})
+	if float64(rb.Cost()) < lb {
+		t.Errorf("round-based program cost %d beats counting bound %.0f", rb.Cost(), lb)
+	}
+}
+
+// TestOmegaOneIsSymmetricEM checks the model degeneration the paper notes:
+// at ω = 1 the AEM is the classic EM model, so the AEM mergesort's cost
+// equals its read+write total and the bounds coincide.
+func TestOmegaOneIsSymmetricEM(t *testing.T) {
+	cfg := aem.Config{M: 128, B: 8, Omega: 1}
+	ma := aem.New(cfg)
+	in := workload.Keys(workload.NewRNG(9), workload.Random, 4096)
+	sorting.MergeSort(ma, aem.Load(ma, in))
+	if ma.Cost() != ma.Stats().IOs() {
+		t.Errorf("ω=1 cost %d != total I/Os %d", ma.Cost(), ma.Stats().IOs())
+	}
+	p := bounds.Params{N: 4096, Cfg: cfg}
+	if bounds.PermutingLowerBoundClosed(p) != bounds.EMSortLowerBound(p) {
+		t.Error("ω=1 AEM bound differs from Aggarwal–Vitter bound")
+	}
+}
+
+// TestARAMIsBOneAEM checks the other degeneration: the (M,ω)-ARAM of
+// Blelloch et al. is the (M,1,ω)-AEM. All sorting machinery must work at
+// B = 1.
+func TestARAMIsBOneAEM(t *testing.T) {
+	cfg := aem.Config{M: 32, B: 1, Omega: 16}
+	ma := aem.New(cfg)
+	in := workload.Keys(workload.NewRNG(10), workload.Random, 512)
+	out := sorting.MergeSort(ma, aem.Load(ma, in))
+	if !sorting.IsSorted(out.Materialize()) {
+		t.Fatal("B=1 (ARAM) sort failed")
+	}
+	// Every I/O moves one item: reads+writes ≥ N is forced.
+	if ma.Stats().IOs() < 512 {
+		t.Errorf("ARAM sort did %d I/Os for 512 items", ma.Stats().IOs())
+	}
+}

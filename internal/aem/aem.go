@@ -1,0 +1,119 @@
+// Package aem implements the (M,B,ω)-Asymmetric External Memory machine
+// model of Jacob & Sitchinava (SPAA 2017), itself a generalization of the
+// external memory (EM) model of Aggarwal and Vitter.
+//
+// The machine consists of an internal (symmetric) memory holding at most M
+// items and an unbounded external (asymmetric) memory organized in blocks of
+// at most B items. Data is transferred between the two memories in whole
+// blocks. A read I/O costs one unit; a write I/O costs ω units. The cost of
+// a computation is
+//
+//	Q = Qr + ω·Qw
+//
+// where Qr and Qw are the numbers of read and write I/Os. Internal
+// computation is free, exactly as in the model: the simulator meters I/O
+// only, but it *does* enforce the internal memory capacity M so that
+// algorithms cannot cheat by hiding data in unbounded internal state.
+//
+// Setting ω = 1 yields the classic symmetric EM model, and setting B = 1
+// yields the (M,ω)-ARAM model of Blelloch et al., so the same machine serves
+// as the substrate for all baselines in this repository.
+package aem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes an (M,B,ω)-AEM machine.
+//
+// All quantities are in items (elements), not bytes: the model is stated in
+// terms of elements and so are all bounds in the paper.
+type Config struct {
+	// M is the internal memory capacity in items.
+	M int
+	// B is the block size in items.
+	B int
+	// Omega is the ratio ω between the cost of a write and a read I/O.
+	Omega int
+}
+
+// Validate reports whether the configuration is a legal AEM machine
+// description. The model requires B ≥ 1, M ≥ 2B (at least two blocks of
+// internal memory, the usual tall-cache-free minimum for multiway merging)
+// and ω ≥ 1.
+func (c Config) Validate() error {
+	switch {
+	case c.B < 1:
+		return fmt.Errorf("aem: block size B = %d, need B ≥ 1", c.B)
+	case c.M < 2*c.B:
+		return fmt.Errorf("aem: internal memory M = %d, need M ≥ 2B = %d", c.M, 2*c.B)
+	case c.Omega < 1:
+		return fmt.Errorf("aem: write/read ratio ω = %d, need ω ≥ 1", c.Omega)
+	}
+	return nil
+}
+
+// BlocksInMemory returns m = ⌈M/B⌉, the number of blocks that fit in
+// internal memory.
+func (c Config) BlocksInMemory() int {
+	return ceilDiv(c.M, c.B)
+}
+
+// BlocksOf returns ⌈n/B⌉, the number of blocks needed to hold n items.
+func (c Config) BlocksOf(n int) int {
+	return ceilDiv(n, c.B)
+}
+
+// MergeFanout returns d = ω·m, the merge fanout used by the AEM mergesort of
+// Section 3 of the paper.
+func (c Config) MergeFanout() int {
+	return c.Omega * c.BlocksInMemory()
+}
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b int) int {
+	return (a + b - 1) / b
+}
+
+// Item is a single element stored in the machine. Key is the sort key; Aux
+// carries an application payload (original position for permuting, a
+// semiring value for SpMxV, ...). Items are compared lexicographically by
+// (Key, Aux) so that all orderings used by the algorithms are total even
+// when keys repeat.
+type Item struct {
+	Key int64
+	Aux int64
+}
+
+// Less reports whether a orders strictly before b in the total order
+// (Key, Aux).
+func Less(a, b Item) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Aux < b.Aux
+}
+
+// Compare returns -1, 0 or +1 according to the total order (Key, Aux).
+func Compare(a, b Item) int {
+	switch {
+	case a.Key < b.Key:
+		return -1
+	case a.Key > b.Key:
+		return 1
+	case a.Aux < b.Aux:
+		return -1
+	case a.Aux > b.Aux:
+		return 1
+	}
+	return 0
+}
+
+// Addr identifies a block of external memory.
+type Addr int
+
+// ErrMemoryOverflow is returned (wrapped) when an algorithm attempts to
+// reserve more internal memory than the machine has. It indicates a bug in
+// the algorithm, not a runtime condition.
+var ErrMemoryOverflow = errors.New("aem: internal memory capacity exceeded")

@@ -1,0 +1,224 @@
+package aem
+
+import (
+	"fmt"
+)
+
+// OpKind distinguishes the two kinds of I/O operation in a trace.
+type OpKind uint8
+
+const (
+	// OpRead is a block read from external memory.
+	OpRead OpKind = iota
+	// OpWrite is a block write to external memory.
+	OpWrite
+)
+
+// String returns "R" or "W".
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "R"
+	}
+	return "W"
+}
+
+// TraceOp is one recorded I/O operation.
+type TraceOp struct {
+	Kind OpKind
+	Addr Addr
+}
+
+// Machine simulates an (M,B,ω)-AEM machine: a block-granular external
+// memory, an internal memory capacity meter, and I/O cost accounting.
+//
+// The simulator deliberately does not model internal memory *contents* —
+// internal computation is free in the model — but it does meter how many
+// item slots an algorithm has reserved, and panics if the total ever exceeds
+// M. Algorithms bracket their buffers with Reserve/Release; exceeding M is a
+// bug in the algorithm (its memory footprint analysis is wrong), so the
+// violation is an assertion failure rather than an error return.
+type Machine struct {
+	cfg     Config
+	disk    [][]Item
+	stats   Stats
+	phases  PhaseStats
+	phase   string
+	inUse   int
+	peak    int
+	tracing bool
+	trace   []TraceOp
+}
+
+// New returns a fresh machine with an empty disk. It panics if cfg is
+// invalid; constructing a machine from bad parameters is a programming
+// error, and every CLI validates user input before reaching this point.
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{cfg: cfg, phase: "main"}
+}
+
+// Config returns the machine parameters.
+func (ma *Machine) Config() Config { return ma.cfg }
+
+// Stats returns the accumulated I/O counts.
+func (ma *Machine) Stats() Stats { return ma.stats }
+
+// Cost returns the accumulated AEM cost Q = Qr + ω·Qw.
+func (ma *Machine) Cost() int64 { return ma.stats.Cost(ma.cfg.Omega) }
+
+// ResetStats zeroes the I/O counters (the disk contents are untouched).
+func (ma *Machine) ResetStats() {
+	ma.stats = Stats{}
+	ma.phases = PhaseStats{}
+}
+
+// SetPhase labels subsequent I/Os with the given phase name for per-stage
+// accounting and returns the previous label so callers can restore it.
+// The default phase is "main".
+func (ma *Machine) SetPhase(name string) (previous string) {
+	previous = ma.phase
+	ma.phase = name
+	return previous
+}
+
+// Phases returns the per-phase I/O accounting.
+func (ma *Machine) Phases() *PhaseStats { return &ma.phases }
+
+// StartTrace begins recording every I/O operation. Recording continues
+// until StopTrace is called.
+func (ma *Machine) StartTrace() {
+	ma.tracing = true
+	ma.trace = ma.trace[:0]
+}
+
+// StopTrace stops recording and returns the recorded operations.
+func (ma *Machine) StopTrace() []TraceOp {
+	ma.tracing = false
+	ops := ma.trace
+	ma.trace = nil
+	return ops
+}
+
+// NumBlocks returns the number of blocks currently allocated on disk.
+func (ma *Machine) NumBlocks() int { return len(ma.disk) }
+
+// Alloc reserves count fresh, empty, contiguous blocks of external memory
+// and returns the address of the first. Allocation itself is free: the
+// model's external memory is unbounded and address arithmetic costs
+// nothing. Writing to the blocks costs I/O as usual.
+func (ma *Machine) Alloc(count int) Addr {
+	if count < 0 {
+		panic(fmt.Sprintf("aem: Alloc(%d): negative count", count))
+	}
+	base := Addr(len(ma.disk))
+	for i := 0; i < count; i++ {
+		ma.disk = append(ma.disk, nil)
+	}
+	return base
+}
+
+// Read performs one read I/O and returns a copy of the block's contents
+// (between 0 and B items). The copy models the transfer into internal
+// memory; callers own the returned slice but must account for its footprint
+// with Reserve if they retain it.
+func (ma *Machine) Read(a Addr) []Item {
+	ma.checkAddr(a, "Read")
+	ma.count(OpRead, a)
+	blk := ma.disk[a]
+	out := make([]Item, len(blk))
+	copy(out, blk)
+	return out
+}
+
+// Write performs one write I/O, replacing the block's contents with a copy
+// of items. It panics if len(items) > B: a block cannot hold more than B
+// items.
+func (ma *Machine) Write(a Addr, items []Item) {
+	ma.checkAddr(a, "Write")
+	if len(items) > ma.cfg.B {
+		panic(fmt.Sprintf("aem: Write(%d): %d items exceed block size B=%d", a, len(items), ma.cfg.B))
+	}
+	ma.count(OpWrite, a)
+	blk := make([]Item, len(items))
+	copy(blk, items)
+	ma.disk[a] = blk
+}
+
+// Peek returns the block's contents without performing (or costing) an I/O.
+// It exists for test verification and for "program knowledge": in the
+// paper's program model (§2) the structure of the input is known to the
+// program for free; only data movement costs. Algorithms must not use Peek
+// to move item *values* — tests enforce cost bounds that would be violated
+// by such cheating anyway.
+func (ma *Machine) Peek(a Addr) []Item {
+	ma.checkAddr(a, "Peek")
+	blk := ma.disk[a]
+	out := make([]Item, len(blk))
+	copy(out, blk)
+	return out
+}
+
+// Poke replaces the block's contents without performing (or costing) an
+// I/O. It is used to lay out the *input*, which the model places in
+// external memory at time zero at no cost.
+func (ma *Machine) Poke(a Addr, items []Item) {
+	ma.checkAddr(a, "Poke")
+	if len(items) > ma.cfg.B {
+		panic(fmt.Sprintf("aem: Poke(%d): %d items exceed block size B=%d", a, len(items), ma.cfg.B))
+	}
+	blk := make([]Item, len(items))
+	copy(blk, items)
+	ma.disk[a] = blk
+}
+
+// Reserve meters the allocation of slots items of internal memory. It
+// panics if the total reserved would exceed M.
+func (ma *Machine) Reserve(slots int) {
+	if slots < 0 {
+		panic(fmt.Sprintf("aem: Reserve(%d): negative count", slots))
+	}
+	if ma.inUse+slots > ma.cfg.M {
+		panic(fmt.Sprintf("%v: in use %d + requested %d > M = %d",
+			ErrMemoryOverflow, ma.inUse, slots, ma.cfg.M))
+	}
+	ma.inUse += slots
+	if ma.inUse > ma.peak {
+		ma.peak = ma.inUse
+	}
+}
+
+// Release returns slots items of internal memory to the machine.
+func (ma *Machine) Release(slots int) {
+	if slots < 0 || slots > ma.inUse {
+		panic(fmt.Sprintf("aem: Release(%d): in use %d", slots, ma.inUse))
+	}
+	ma.inUse -= slots
+}
+
+// MemInUse returns the number of internal memory slots currently reserved.
+func (ma *Machine) MemInUse() int { return ma.inUse }
+
+// MemPeak returns the high-water mark of reserved internal memory.
+func (ma *Machine) MemPeak() int { return ma.peak }
+
+func (ma *Machine) count(kind OpKind, a Addr) {
+	switch kind {
+	case OpRead:
+		ma.stats.Reads++
+		ma.phases.Record(ma.phase, Stats{Reads: 1})
+	case OpWrite:
+		ma.stats.Writes++
+		ma.phases.Record(ma.phase, Stats{Writes: 1})
+	}
+	if ma.tracing {
+		ma.trace = append(ma.trace, TraceOp{Kind: kind, Addr: a})
+	}
+}
+
+func (ma *Machine) checkAddr(a Addr, op string) {
+	if a < 0 || int(a) >= len(ma.disk) {
+		panic(fmt.Sprintf("aem: %s(%d): address out of range [0,%d)", op, a, len(ma.disk)))
+	}
+}

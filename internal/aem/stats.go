@@ -1,0 +1,87 @@
+package aem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats accumulates the I/O counts of a machine. Cost is derived as
+// Reads + ω·Writes per the AEM cost definition.
+type Stats struct {
+	// Reads is the number of read I/Os performed.
+	Reads int64
+	// Writes is the number of write I/Os performed.
+	Writes int64
+}
+
+// Cost returns Q = Reads + ω·Writes for the given write/read ratio.
+func (s Stats) Cost(omega int) int64 {
+	return s.Reads + int64(omega)*s.Writes
+}
+
+// Add returns the component-wise sum of two stats.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{Reads: s.Reads + t.Reads, Writes: s.Writes + t.Writes}
+}
+
+// Sub returns the component-wise difference s − t.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes}
+}
+
+// IOs returns the total number of I/O operations regardless of kind.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// String renders the stats in a compact human-readable form.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d", s.Reads, s.Writes)
+}
+
+// PhaseStats tracks I/O counts attributed to named phases of an algorithm,
+// e.g. the "merge" and "base" phases of mergesort, so that experiments can
+// report read/write splits per stage. The zero value is ready to use.
+type PhaseStats struct {
+	phases map[string]Stats
+}
+
+// Record adds the delta to the named phase.
+func (p *PhaseStats) Record(phase string, delta Stats) {
+	if p.phases == nil {
+		p.phases = make(map[string]Stats)
+	}
+	p.phases[phase] = p.phases[phase].Add(delta)
+}
+
+// Phase returns the accumulated stats for the named phase.
+func (p *PhaseStats) Phase(phase string) Stats {
+	return p.phases[phase]
+}
+
+// Phases returns the recorded phase names in sorted order.
+func (p *PhaseStats) Phases() []string {
+	names := make([]string, 0, len(p.phases))
+	for name := range p.phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Total returns the sum over all phases.
+func (p *PhaseStats) Total() Stats {
+	var total Stats
+	for _, s := range p.phases {
+		total = total.Add(s)
+	}
+	return total
+}
+
+// String renders per-phase stats, one phase per line, in sorted order.
+func (p *PhaseStats) String() string {
+	var b strings.Builder
+	for _, name := range p.Phases() {
+		fmt.Fprintf(&b, "%-12s %s\n", name, p.phases[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,318 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aem"
+)
+
+func params(n, m, b, w int) Params {
+	return Params{N: n, Cfg: aem.Config{M: m, B: b, Omega: w}}
+}
+
+func TestLogFactorialKnownValues(t *testing.T) {
+	cases := []struct {
+		n    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{2, math.Log(2)},
+		{5, math.Log(120)},
+		{10, math.Log(3628800)},
+	}
+	for _, tc := range cases {
+		if got := LogFactorial(tc.n); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("LogFactorial(%v) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestLogBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k, want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 5, math.Log(252)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{10, 12, 0}, // degenerate: convention C(n,k)=1
+		{10, -1, 0},
+	}
+	for _, tc := range cases {
+		if got := LogBinomial(tc.n, tc.k); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("LogBinomial(%v,%v) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestLogBinomialSymmetry(t *testing.T) {
+	f := func(nSel, kSel uint8) bool {
+		n := float64(nSel%100) + 2
+		k := math.Mod(float64(kSel), n)
+		return math.Abs(LogBinomial(n, k)-LogBinomial(n, n-k)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountingTargetMatchesDirectComputation(t *testing.T) {
+	// N=8, B=2: target = ln(8!/(2!)^4) = ln(40320/16) = ln(2520).
+	p := params(8, 4, 2, 1)
+	want := math.Log(2520)
+	if got := CountingTarget(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CountingTarget = %v, want %v", got, want)
+	}
+}
+
+func TestCountingRoundsPositiveAndFinite(t *testing.T) {
+	p := params(1<<20, 1<<10, 1<<5, 8)
+	r := CountingRounds(p)
+	if r <= 0 || r == math.MaxInt64 {
+		t.Fatalf("CountingRounds = %d, want positive finite", r)
+	}
+	// The bound must grow with N.
+	p2 := params(1<<22, 1<<10, 1<<5, 8)
+	if r2 := CountingRounds(p2); r2 <= r {
+		t.Errorf("rounds not monotone in N: R(2^20)=%d, R(2^22)=%d", r, r2)
+	}
+}
+
+func TestCountingRoundsMonotoneInMemory(t *testing.T) {
+	// More memory per round ⇒ fewer rounds needed.
+	small := CountingRounds(params(1<<20, 1<<8, 1<<4, 4))
+	large := CountingRounds(params(1<<20, 1<<12, 1<<4, 4))
+	if large > small {
+		t.Errorf("rounds increased with memory: M=2^8→%d, M=2^12→%d", small, large)
+	}
+}
+
+func TestCountingLowerBoundVsClosedForm(t *testing.T) {
+	// Over a realistic grid the exact counting bound and the closed form
+	// must agree within constant factors (this is the content of §4.2's
+	// simplification chain). We allow a generous constant and require both
+	// directions across the sweep.
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
+		for _, w := range []int{1, 4, 16, 64} {
+			p := params(n, 1<<10, 1<<5, w)
+			counting := CountingLowerBound(p)
+			closed := PermutingLowerBoundClosed(p)
+			if counting <= 0 || closed <= 0 {
+				t.Fatalf("degenerate bound at N=%d ω=%d: counting=%v closed=%v", n, w, counting, closed)
+			}
+			ratio := counting / closed
+			if ratio < 0.01 || ratio > 100 {
+				t.Errorf("N=%d ω=%d: counting/closed = %v, outside constant-factor band", n, w, ratio)
+			}
+		}
+	}
+}
+
+func TestPermutingBoundRegimeSwitch(t *testing.T) {
+	// For tiny B (B=1, large ω relative to the log factor) the min must be
+	// achieved by the N term; for large B the sort term wins. This is the
+	// min{N, ω n log_{ωm} n} regime structure of Theorem 4.5.
+	nTerm := params(1<<16, 8, 1, 4) // B=1: ωn log = ω·N·log ≫ N
+	if got := PermutingLowerBoundClosed(nTerm); got != float64(nTerm.N) {
+		t.Errorf("B=1 bound = %v, want N=%d (N-term regime)", got, nTerm.N)
+	}
+	sortTerm := params(1<<20, 1<<12, 1<<8, 2) // big B: ωn log ≪ N
+	got := PermutingLowerBoundClosed(sortTerm)
+	if got >= float64(sortTerm.N) {
+		t.Errorf("big-B bound = %v, want < N (sort-term regime)", got)
+	}
+}
+
+func TestPermutingBoundMonotoneInOmega(t *testing.T) {
+	// In the sort-term regime the bound grows with ω (ω·n·log_{ωm} n: the
+	// ω factor dominates the shrinking log).
+	prev := 0.0
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		p := params(1<<20, 1<<12, 1<<8, w)
+		got := PermutingLowerBoundClosed(p)
+		if got < prev {
+			t.Errorf("bound decreased at ω=%d: %v < %v", w, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSortingEqualsPermutingBound(t *testing.T) {
+	p := params(1<<18, 1<<10, 1<<5, 4)
+	if SortingLowerBoundClosed(p) != PermutingLowerBoundClosed(p) {
+		t.Error("sorting bound must equal permuting bound")
+	}
+}
+
+func TestReductionBoundRequiresOmegaAtMostB(t *testing.T) {
+	p := params(1<<18, 1<<10, 4, 16) // ω > B: lemma inapplicable
+	if got := ReductionLowerBound(p); got != 0 {
+		t.Errorf("ReductionLowerBound with ω>B = %v, want 0", got)
+	}
+}
+
+func TestReductionBoundWeakerThanCounting(t *testing.T) {
+	// The paper notes the counting bound is slightly stronger for some
+	// parameter ranges due to simulation inefficiencies; at minimum the
+	// reduction bound should never exceed a constant multiple of the
+	// counting bound where both are positive.
+	for _, w := range []int{1, 2, 4, 8} {
+		p := params(1<<20, 1<<10, 1<<6, w)
+		red := ReductionLowerBound(p)
+		cnt := CountingLowerBound(p)
+		if red > 0 && cnt > 0 && red > 10*cnt {
+			t.Errorf("ω=%d: reduction bound %v ≫ counting bound %v", w, red, cnt)
+		}
+	}
+}
+
+func TestEMBoundIsOmegaOneSpecialCase(t *testing.T) {
+	p := params(1<<20, 1<<10, 1<<5, 1)
+	em := EMSortLowerBound(p)
+	aemB := PermutingLowerBoundClosed(p)
+	if math.Abs(em-aemB)/em > 1e-9 {
+		t.Errorf("ω=1 AEM bound %v != EM bound %v", aemB, em)
+	}
+}
+
+func TestFlashVolumeLBShape(t *testing.T) {
+	v := FlashPermutingVolumeLB(1<<20, 1<<10, 1<<4)
+	if v <= 0 {
+		t.Fatalf("flash volume LB = %v", v)
+	}
+	v2 := FlashPermutingVolumeLB(1<<22, 1<<10, 1<<4)
+	if v2 <= v {
+		t.Errorf("flash LB not monotone in N: %v then %v", v, v2)
+	}
+}
+
+func TestTauCases(t *testing.T) {
+	// B < δ: τ = 3^{δN}.
+	if got, want := Tau(10, 4, 2), 40*math.Log(3); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Tau(B<δ) = %v, want %v", got, want)
+	}
+	// B = δ: τ = 1.
+	if got := Tau(10, 4, 4); got != 0 {
+		t.Errorf("Tau(B=δ) = %v, want 0", got)
+	}
+	// B > δ: τ = (2eB/δ)^{δN}.
+	if got, want := Tau(10, 2, 8), 20*math.Log(2*math.E*8/2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Tau(B>δ) = %v, want %v", got, want)
+	}
+}
+
+func spmxvParams(n, delta, m, b, w int) SpMxVParams {
+	return SpMxVParams{Params: params(n, m, b, w), Delta: delta}
+}
+
+func TestSpMxVClosedFormShape(t *testing.T) {
+	p := spmxvParams(1<<20, 4, 1<<10, 1<<5, 4)
+	got := SpMxVLowerBoundClosed(p)
+	if got <= 0 {
+		t.Fatalf("SpMxV bound = %v", got)
+	}
+	if got > float64(p.H()) {
+		t.Errorf("bound %v exceeds H=%d; min{} broken", got, p.H())
+	}
+	// Denser matrices (larger δ) must not decrease the bound in the
+	// sort-term regime, since h = δn grows.
+	p8 := spmxvParams(1<<20, 8, 1<<10, 1<<5, 4)
+	if b8 := SpMxVLowerBoundClosed(p8); b8 < got {
+		t.Errorf("bound decreased with δ: δ=4→%v, δ=8→%v", got, b8)
+	}
+}
+
+func TestSpMxVCountingBoundPositiveInAssumptionRange(t *testing.T) {
+	p := spmxvParams(1<<22, 2, 1<<8, 1<<4, 2)
+	if !SpMxVAssumptionsHold(p, 0.05) {
+		t.Skip("parameter point outside theorem assumptions; adjust test grid")
+	}
+	if got := SpMxVCountingBound(p); got <= 0 {
+		t.Errorf("counting bound = %v at a point satisfying the assumptions", got)
+	}
+}
+
+func TestSpMxVAssumptions(t *testing.T) {
+	good := spmxvParams(1<<22, 2, 1<<8, 1<<4, 2)
+	if !SpMxVAssumptionsHold(good, 0.01) {
+		t.Error("expected assumptions to hold for the good point")
+	}
+	badB := spmxvParams(1<<22, 2, 1<<8, 2, 2)
+	if SpMxVAssumptionsHold(badB, 0.01) {
+		t.Error("B ≤ 2 must fail the assumptions")
+	}
+	badM := spmxvParams(1<<22, 2, 16, 8, 2)
+	if SpMxVAssumptionsHold(badM, 0.01) {
+		t.Error("M ≤ 4B must fail the assumptions")
+	}
+	badProduct := spmxvParams(1<<10, 64, 1<<8, 1<<4, 64)
+	if SpMxVAssumptionsHold(badProduct, 0.01) {
+		t.Error("ωδMB > N^{1−ε} must fail the assumptions")
+	}
+}
+
+func TestPredictedFormulasPositive(t *testing.T) {
+	p := params(1<<18, 1<<10, 1<<5, 8)
+	preds := map[string]PredictedIO{
+		"mergesort":   MergeSortPredicted(p),
+		"smallsort":   SmallSortPredicted(params(1<<12, 1<<10, 1<<5, 8)),
+		"em":          EMMergeSortPredicted(p),
+		"permdirect":  PermuteDirectPredicted(p),
+		"permsort":    PermuteSortPredicted(p),
+		"permbest":    PermuteBestPredicted(p),
+		"spmxv-naive": SpMxVNaivePredicted(spmxvParams(1<<16, 4, 1<<10, 1<<5, 8)),
+		"spmxv-sort":  SpMxVSortPredicted(spmxvParams(1<<16, 4, 1<<10, 1<<5, 8)),
+		"spmxv-best":  SpMxVBestPredicted(spmxvParams(1<<16, 4, 1<<10, 1<<5, 8)),
+	}
+	for name, io := range preds {
+		if io.Reads <= 0 || io.Writes <= 0 || io.Cost(p.Cfg.Omega) <= 0 {
+			t.Errorf("%s prediction degenerate: %+v", name, io)
+		}
+	}
+}
+
+func TestMergeSortPredictedWriteSavings(t *testing.T) {
+	// The defining property of the §3 mergesort: reads ≈ ω × writes.
+	p := params(1<<20, 1<<10, 1<<5, 16)
+	io := MergeSortPredicted(p)
+	if math.Abs(io.Reads/io.Writes-float64(p.Cfg.Omega)) > 1e-9 {
+		t.Errorf("read/write ratio = %v, want ω=%d", io.Reads/io.Writes, p.Cfg.Omega)
+	}
+}
+
+func TestMergeSortLevelsBaseCase(t *testing.T) {
+	// N ≤ ωM: zero merge levels, base case only.
+	p := params(1<<10, 1<<10, 1<<5, 4)
+	if got := MergeSortLevels(p); got != 0 {
+		t.Errorf("levels = %v, want 0 for N ≤ ωM", got)
+	}
+	big := params(1<<24, 1<<10, 1<<5, 4)
+	if got := MergeSortLevels(big); got < 1 {
+		t.Errorf("levels = %v, want ≥ 1 for N ≫ ωM", got)
+	}
+}
+
+func TestAEMSortBeatsEMSortForLargeOmega(t *testing.T) {
+	// The central §3 claim: for large ω the §3 mergesort's predicted cost
+	// is below the symmetric-EM mergesort's predicted AEM cost, because the
+	// log base improves from m to ωm and writes shrink by ω.
+	p := params(1<<24, 1<<12, 1<<6, 64)
+	aemCost := MergeSortPredicted(p).Cost(p.Cfg.Omega)
+	emCost := EMMergeSortPredicted(p).Cost(p.Cfg.Omega)
+	if aemCost >= emCost {
+		t.Errorf("AEM mergesort predicted %v ≥ EM mergesort %v at ω=64", aemCost, emCost)
+	}
+}
+
+func TestPermuteBestPicksDirectForHugeOmega(t *testing.T) {
+	// When ω is enormous, sorting costs ω·n·log… ≫ N + ωn and direct wins.
+	p := params(1<<16, 1<<8, 4, 1<<14)
+	best := PermuteBestPredicted(p)
+	direct := PermuteDirectPredicted(p)
+	if best != direct {
+		t.Errorf("best = %+v, want direct %+v at ω=2^14", best, direct)
+	}
+}

@@ -1,0 +1,91 @@
+package bounds
+
+import "math"
+
+// SpMxVParams bundles the parameters of the sparse-matrix × dense-vector
+// bounds of Section 5: an N×N matrix with exactly δ non-zeros per column
+// (H = δN non-zeros total) in column-major layout, multiplied on an
+// (M,B,ω)-AEM machine over a semiring.
+type SpMxVParams struct {
+	Params
+	Delta int
+}
+
+// H returns the number of non-zero entries, H = δ·N.
+func (p SpMxVParams) H() int { return p.Delta * p.N }
+
+// hBlocks returns h = ⌈H/B⌉.
+func (p SpMxVParams) hBlocks() float64 {
+	return float64(p.Cfg.BlocksOf(p.H()))
+}
+
+// Tau returns the τ(N,δ,B) input-order slack factor of Bender et al. [5]
+// (as a natural logarithm, since the raw value overflows for any
+// interesting N):
+//
+//	τ = 3^{δN}        if B < δ
+//	τ = 1             if B = δ
+//	τ = (2eB/δ)^{δN}  if B > δ
+func Tau(n, delta, b int) (logTau float64) {
+	N, D, B := float64(n), float64(delta), float64(b)
+	switch {
+	case b < delta:
+		return D * N * math.Log(3)
+	case b == delta:
+		return 0
+	default:
+		return D * N * math.Log(2*math.E*B/D)
+	}
+}
+
+// SpMxVLowerBoundClosed returns the closed-form SpMxV lower bound of
+// Theorem 5.1:
+//
+//	Ω(min{H, ω·h·log_{ωm} N/max{δ,B}})
+//
+// valid under the theorem's assumptions B > 2, M > 4B, ω·δ·M·B ≤ N^{1−ε}.
+func SpMxVLowerBoundClosed(p SpMxVParams) float64 {
+	h, m, w := p.hBlocks(), p.mBlocks(), p.omega()
+	den := math.Max(float64(p.Delta), float64(p.Cfg.B))
+	sortTerm := w * h * logBase(float64(p.N)/den, w*m)
+	return math.Min(float64(p.H()), sortTerm)
+}
+
+// SpMxVCountingBound evaluates the configuration-counting expression from
+// the proof of Theorem 5.1 directly:
+//
+//	Q ≥ δN·log(N/max{3δ,2eB} · B/(eωM)) /
+//	    (2·log H + (B/ω)·log(eωM/B) + (B/(ωM))·log H)
+//
+// This is the pre-case-analysis bound; it is the quantity an experiment can
+// compare against measured algorithm cost without asymptotic slack. The
+// result is clamped at 0 (for parameters outside the theorem's assumptions
+// the numerator can go negative, meaning the argument is vacuous there).
+func SpMxVCountingBound(p SpMxVParams) float64 {
+	N := float64(p.N)
+	D := float64(p.Delta)
+	B := float64(p.Cfg.B)
+	M := float64(p.Cfg.M)
+	w := p.omega()
+	H := D * N
+
+	num := D * N * math.Log(N/math.Max(3*D, 2*math.E*B)*B/(math.E*w*M))
+	den := 2*math.Log(H) + (B/w)*math.Log(math.E*w*M/B) + (B/(w*M))*math.Log(H)
+	if den <= 0 {
+		return 0
+	}
+	return math.Max(0, num/den)
+}
+
+// SpMxVAssumptionsHold reports whether the parameter point satisfies the
+// hypotheses of Theorem 5.1 (B > 2, M > 4B, ω·δ·M·B ≤ N^{1−ε}) for the
+// given ε. Experiments mark points outside the assumptions so the shape
+// comparison is honest about where the theorem actually speaks.
+func SpMxVAssumptionsHold(p SpMxVParams, eps float64) bool {
+	B, M := p.Cfg.B, p.Cfg.M
+	if B <= 2 || M <= 4*B {
+		return false
+	}
+	lhs := float64(p.Cfg.Omega) * float64(p.Delta) * float64(M) * float64(B)
+	return lhs <= math.Pow(float64(p.N), 1-eps)
+}

@@ -1,0 +1,152 @@
+// Package core is the façade over the paper's primary contributions — the
+// one import that exposes the (M,B,ω)-AEM machine, the Section 3
+// mergesort, the Section 4 lower-bound machinery (counting bound,
+// Lemma 4.1 round-based conversion, Lemma 4.3 flash simulation) and the
+// Section 5 SpMxV algorithms and bounds, re-exported from the focused
+// packages that implement them.
+//
+// A downstream user who wants "the paper as a library" imports this
+// package; a user who wants one subsystem imports the specific package
+// (aem, sorting, bounds, program, flash, permute, spmxv).
+package core
+
+import (
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/flash"
+	"repro/internal/permute"
+	"repro/internal/pq"
+	"repro/internal/program"
+	"repro/internal/sorting"
+	"repro/internal/spmxv"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Machine model.
+type (
+	// Config is an (M,B,ω)-AEM machine description.
+	Config = aem.Config
+	// Machine is the metered AEM machine simulator.
+	Machine = aem.Machine
+	// Item is the element type moved by all algorithms.
+	Item = aem.Item
+	// Vector is N items in ⌈N/B⌉ consecutive blocks.
+	Vector = aem.Vector
+	// Stats is an (reads, writes) I/O count pair.
+	Stats = aem.Stats
+)
+
+// NewMachine returns a fresh machine with an empty disk.
+func NewMachine(cfg Config) *Machine { return aem.New(cfg) }
+
+// Load places items on a machine's disk for free, as the model's initial
+// condition.
+func Load(ma *Machine, items []Item) *Vector { return aem.Load(ma, items) }
+
+// Sorting (Section 3).
+var (
+	// Sort is the AEM mergesort of Section 3: O(ω·n·log_{ωm} n) reads,
+	// O(n·log_{ωm} n) writes, valid for every ω.
+	Sort = sorting.MergeSort
+	// Merge is the ωm-way merge of Theorem 3.2.
+	Merge = sorting.MergeRuns
+	// SortBaseCase is the small-input sort of [7, Lemma 4.2].
+	SortBaseCase = sorting.SmallSort
+	// EMSort is the symmetric-EM mergesort baseline.
+	EMSort = sorting.EMMergeSort
+	// EMSampleSort is the distribution-sort baseline.
+	EMSampleSort = sorting.EMSampleSort
+	// HeapSort is the sequence-heap (priority queue) sorting baseline.
+	HeapSort = pq.HeapSort
+)
+
+// PriorityQueue is the external-memory sequence heap substrate.
+type PriorityQueue = pq.Queue
+
+// NewPriorityQueue creates an empty external priority queue on ma.
+func NewPriorityQueue(ma *Machine) *PriorityQueue { return pq.New(ma) }
+
+// Trace-level round machinery (Section 4 applied to real executions).
+var (
+	// DecomposeTrace splits a recorded machine trace into ωm-rounds.
+	DecomposeTrace = trace.Decompose
+	// ConvertTrace evaluates Lemma 4.1 on a recorded machine trace.
+	ConvertTrace = trace.Convert
+)
+
+// Permuting (Section 4 upper bounds).
+var (
+	// PermuteDirect is the O(N + ωn) block-gather permuting algorithm.
+	PermuteDirect = permute.Direct
+	// PermuteBySorting is sort-based permuting.
+	PermuteBySorting = permute.SortBased
+	// Permute picks the predicted-cheaper strategy, matching Theorem 4.5.
+	Permute = permute.Best
+)
+
+// Lower bounds (Sections 4 and 5).
+type (
+	// BoundParams parameterizes the sorting/permuting bounds.
+	BoundParams = bounds.Params
+	// SpMxVBoundParams parameterizes the SpMxV bounds.
+	SpMxVBoundParams = bounds.SpMxVParams
+)
+
+var (
+	// PermutingLowerBound is the closed form of Theorem 4.5.
+	PermutingLowerBound = bounds.PermutingLowerBoundClosed
+	// SortingLowerBound equals the permuting bound.
+	SortingLowerBound = bounds.SortingLowerBoundClosed
+	// CountingRounds evaluates the §4.2 counting argument exactly.
+	CountingRounds = bounds.CountingRounds
+	// CountingLowerBound is the cost bound the counting argument implies.
+	CountingLowerBound = bounds.CountingLowerBound
+	// ReductionLowerBound is the Corollary 4.4 bound via the flash model.
+	ReductionLowerBound = bounds.ReductionLowerBound
+	// SpMxVLowerBound is the closed form of Theorem 5.1.
+	SpMxVLowerBound = bounds.SpMxVLowerBoundClosed
+)
+
+// Programs and the executable proofs (Section 4).
+type (
+	// Program is a straight-line AEM program over indivisible atoms (§2).
+	Program = program.Program
+	// FlashProgram is a program in the unit-cost flash model of [2].
+	FlashProgram = flash.Program
+)
+
+var (
+	// RunProgram interprets a program under the §4.2 movement rules.
+	RunProgram = program.Run
+	// ToRoundBased is the Lemma 4.1 transformation.
+	ToRoundBased = program.ConvertToRoundBased
+	// ToFlash is the Lemma 4.3 simulation of a round-based program.
+	ToFlash = flash.SimulateAEM
+	// RunFlash interprets a flash program.
+	RunFlash = flash.Run
+)
+
+// SpMxV (Section 5).
+type (
+	// SparseMatrix is a column-major sparse matrix on an AEM machine.
+	SparseMatrix = spmxv.Matrix
+	// Conformation is the non-zero structure of a sparse matrix.
+	Conformation = workload.Conformation
+)
+
+var (
+	// NewSparseMatrix lays a matrix out on disk.
+	NewSparseMatrix = spmxv.NewMatrix
+	// LoadDenseVector lays a dense vector out on disk.
+	LoadDenseVector = spmxv.LoadDense
+	// SpMxVNaive is the O(H + ωn) direct multiply.
+	SpMxVNaive = spmxv.Naive
+	// SpMxVSorting is the sorting-based multiply of Section 5.
+	SpMxVSorting = spmxv.SortBased
+	// SpMxV picks the predicted-cheaper strategy, matching Theorem 5.1.
+	SpMxV = spmxv.Best
+	// ProgramFromPermutation builds the direct straight-line program
+	// realizing a permutation — the standard input to the proof pipeline.
+	ProgramFromPermutation = program.FromPermutation
+)

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFacadeEndToEnd exercises the whole public surface the way the
+// README's quickstart does: build a machine, sort, permute, multiply,
+// run the proof pipeline, and compare against the bounds.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := Config{M: 128, B: 8, Omega: 4}
+	ma := NewMachine(cfg)
+
+	// Sort.
+	in := workload.Keys(workload.NewRNG(1), workload.Random, 4096)
+	out := Sort(ma, Load(ma, in))
+	items := out.Materialize()
+	for i := 1; i < len(items); i++ {
+		if items[i].Key < items[i-1].Key {
+			t.Fatal("Sort output not sorted")
+		}
+	}
+	cost := float64(ma.Cost())
+	lb := SortingLowerBound(BoundParams{N: 4096, Cfg: cfg})
+	if cost < lb {
+		t.Errorf("sort cost %v below lower bound %v", cost, lb)
+	}
+
+	// Permute.
+	ma2 := NewMachine(cfg)
+	atoms, perm := workload.Permutation(workload.NewRNG(2), 2048)
+	v := Load(ma2, atoms)
+	permuted, _ := Permute(ma2, v, perm)
+	if permuted.Len() != 2048 {
+		t.Fatal("Permute lost items")
+	}
+
+	// SpMxV.
+	ma3 := NewMachine(cfg)
+	conf := workload.NewConformation(workload.NewRNG(3), 256, 4)
+	values := make([]int64, conf.H())
+	for i := range values {
+		values[i] = int64(i % 7)
+	}
+	x := make([]int64, 256)
+	for i := range x {
+		x[i] = int64(i % 5)
+	}
+	mat := NewSparseMatrix(ma3, conf, values)
+	y, _ := SpMxV(ma3, mat, LoadDenseVector(ma3, x))
+	if y.Len() != 256 {
+		t.Fatal("SpMxV output wrong length")
+	}
+
+	// Proof pipeline: program → round-based → flash.
+	_, smallPerm := workload.Permutation(workload.NewRNG(4), 64)
+	prog, err := ProgramFromPermutation(Config{M: 16, B: 4, Omega: 2}, smallPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ToRoundBased(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := ToFlash(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFlash(fp); err != nil {
+		t.Fatal(err)
+	}
+}

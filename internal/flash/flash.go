@@ -1,0 +1,199 @@
+// Package flash implements the unit-cost flash memory model of Ajwani,
+// Beckmann, Jacob, Meyer and Moruz ("On Computational Models for Flash
+// Memory Devices", used as [2] by the paper) and the simulation of
+// Lemma 4.3, which translates any round-based (M,B,ω)-AEM permuting
+// program into a flash program of bounded I/O volume — the reduction
+// behind the Corollary 4.4 permuting lower bound.
+//
+// In the flash model, writes transfer big blocks of B items and reads
+// transfer small blocks of B/ω items (a big block is ω aligned small
+// blocks), and the cost of an operation is proportional to the number of
+// items in its block — so cost is measured as transferred *volume*. The
+// asymmetry between read and write granularity plays the role that the
+// ω cost ratio plays in the AEM.
+package flash
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+)
+
+// Config describes a flash machine.
+type Config struct {
+	// M is the internal memory capacity in items.
+	M int
+	// B is the write (big) block size in items.
+	B int
+	// R is the read (small) block size in items; B must be a multiple
+	// of R.
+	R int
+}
+
+// Validate reports whether the configuration is legal.
+func (c Config) Validate() error {
+	switch {
+	case c.R < 1:
+		return fmt.Errorf("flash: read block R = %d, need ≥ 1", c.R)
+	case c.B < c.R:
+		return fmt.Errorf("flash: write block B = %d smaller than read block R = %d", c.B, c.R)
+	case c.B%c.R != 0:
+		return fmt.Errorf("flash: write block B = %d not a multiple of read block R = %d", c.B, c.R)
+	case c.M < c.B:
+		return fmt.Errorf("flash: internal memory M = %d below write block B = %d", c.M, c.B)
+	}
+	return nil
+}
+
+// SlotsPerBlock returns B/R, the number of small blocks inside a big one.
+func (c Config) SlotsPerBlock() int { return c.B / c.R }
+
+// Op is one flash I/O operation.
+//
+// A read transfers small block Slot of big block Addr; Take lists the
+// atoms the program keeps from it (they move to internal memory and their
+// disk copies are destroyed, mirroring the AEM program semantics so the
+// two models compute the same kind of object). A write transfers Atoms
+// (≤ B, ordered — slot positions are meaningful for future small reads)
+// into the empty big block Addr.
+type Op struct {
+	Kind  aem.OpKind
+	Addr  int
+	Slot  int   // reads only
+	Atoms []int // read: atoms taken; write: full ordered layout
+}
+
+// Program is a straight-line flash program over N atoms, initially laid
+// out n per big block in blocks 0..⌈N/B⌉−1 in index order.
+type Program struct {
+	N   int
+	Cfg Config
+	Ops []Op
+}
+
+// Volume returns the program's total I/O volume in items: R per read and
+// B per write.
+func (p *Program) Volume() int64 {
+	var v int64
+	for _, op := range p.Ops {
+		if op.Kind == aem.OpRead {
+			v += int64(p.Cfg.R)
+		} else {
+			v += int64(p.Cfg.B)
+		}
+	}
+	return v
+}
+
+// Result is the outcome of interpreting a flash program.
+type Result struct {
+	// Placement maps every atom to the big block where it ended.
+	Placement map[int]int
+	// ReadVolume and WriteVolume are in items.
+	ReadVolume  int64
+	WriteVolume int64
+	// MaxMemory is the high-water mark of atoms in internal memory.
+	MaxMemory int
+}
+
+// Volume returns the total transferred volume.
+func (r Result) Volume() int64 { return r.ReadVolume + r.WriteVolume }
+
+// block is a big block: a fixed layout plus per-position presence (taking
+// an atom destroys its copy but does not shift the others — the block is
+// on disk, not in memory).
+type block struct {
+	layout  []int
+	present []bool
+	count   int
+}
+
+// Run interprets the program, validating: reads take only atoms present in
+// the addressed small block, writes come from memory into empty blocks and
+// respect the block size, and internal memory never exceeds M. The program
+// must finish with no atoms in memory.
+func Run(p *Program) (Result, error) {
+	if err := p.Cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	blocks := make(map[int]*block)
+	for a := 0; a < p.N; a += p.Cfg.B {
+		hi := a + p.Cfg.B
+		if hi > p.N {
+			hi = p.N
+		}
+		bl := &block{layout: make([]int, hi-a), present: make([]bool, hi-a), count: hi - a}
+		for x := a; x < hi; x++ {
+			bl.layout[x-a] = x
+			bl.present[x-a] = true
+		}
+		blocks[a/p.Cfg.B] = bl
+	}
+	mem := make(map[int]struct{})
+	res := Result{}
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case aem.OpRead:
+			res.ReadVolume += int64(p.Cfg.R)
+			bl := blocks[op.Addr]
+			if bl == nil {
+				return Result{}, fmt.Errorf("flash: op %d reads unwritten block %d", i, op.Addr)
+			}
+			lo, hi := op.Slot*p.Cfg.R, (op.Slot+1)*p.Cfg.R
+			if op.Slot < 0 || lo >= len(bl.layout) && len(op.Atoms) > 0 {
+				return Result{}, fmt.Errorf("flash: op %d reads slot %d beyond block %d", i, op.Slot, op.Addr)
+			}
+			for _, a := range op.Atoms {
+				found := false
+				for pos := lo; pos < hi && pos < len(bl.layout); pos++ {
+					if bl.layout[pos] == a && bl.present[pos] {
+						bl.present[pos] = false
+						bl.count--
+						found = true
+						break
+					}
+				}
+				if !found {
+					return Result{}, fmt.Errorf("flash: op %d takes atom %d absent from block %d slot %d", i, a, op.Addr, op.Slot)
+				}
+				mem[a] = struct{}{}
+			}
+			if len(mem) > p.Cfg.M {
+				return Result{}, fmt.Errorf("flash: op %d overflows memory: %d > M = %d", i, len(mem), p.Cfg.M)
+			}
+			if len(mem) > res.MaxMemory {
+				res.MaxMemory = len(mem)
+			}
+		case aem.OpWrite:
+			res.WriteVolume += int64(p.Cfg.B)
+			if len(op.Atoms) > p.Cfg.B {
+				return Result{}, fmt.Errorf("flash: op %d writes %d atoms > B = %d", i, len(op.Atoms), p.Cfg.B)
+			}
+			if bl := blocks[op.Addr]; bl != nil && bl.count > 0 {
+				return Result{}, fmt.Errorf("flash: op %d writes to non-empty block %d", i, op.Addr)
+			}
+			bl := &block{layout: make([]int, len(op.Atoms)), present: make([]bool, len(op.Atoms)), count: len(op.Atoms)}
+			for pos, a := range op.Atoms {
+				if _, ok := mem[a]; !ok {
+					return Result{}, fmt.Errorf("flash: op %d writes atom %d not in memory", i, a)
+				}
+				delete(mem, a)
+				bl.layout[pos] = a
+				bl.present[pos] = true
+			}
+			blocks[op.Addr] = bl
+		}
+	}
+	if len(mem) != 0 {
+		return Result{}, fmt.Errorf("flash: %d atoms resident in memory at end", len(mem))
+	}
+	res.Placement = make(map[int]int, p.N)
+	for addr, bl := range blocks {
+		for pos, a := range bl.layout {
+			if bl.present[pos] {
+				res.Placement[a] = addr
+			}
+		}
+	}
+	return res, nil
+}

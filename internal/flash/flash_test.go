@@ -1,0 +1,253 @@
+package flash
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aem"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{M: 16, B: 8, R: 2}, true},
+		{"equal blocks", Config{M: 16, B: 4, R: 4}, true},
+		{"zero R", Config{M: 16, B: 8, R: 0}, false},
+		{"B < R", Config{M: 16, B: 2, R: 4}, false},
+		{"not multiple", Config{M: 16, B: 8, R: 3}, false},
+		{"M < B", Config{M: 4, B: 8, R: 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok != (err == nil) {
+				t.Fatalf("Validate() = %v, want ok=%t", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestRunSimpleMove(t *testing.T) {
+	// 8 atoms, B=4, R=2. Move block 0's atoms into block 2.
+	p := &Program{
+		N:   8,
+		Cfg: Config{M: 8, B: 4, R: 2},
+		Ops: []Op{
+			{Kind: aem.OpRead, Addr: 0, Slot: 0, Atoms: []int{0, 1}},
+			{Kind: aem.OpRead, Addr: 0, Slot: 1, Atoms: []int{2, 3}},
+			{Kind: aem.OpWrite, Addr: 2, Atoms: []int{3, 1, 2, 0}},
+		},
+	}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		if res.Placement[a] != 2 {
+			t.Errorf("atom %d in block %d, want 2", a, res.Placement[a])
+		}
+	}
+	if res.ReadVolume != 4 || res.WriteVolume != 4 {
+		t.Errorf("volumes %d/%d, want 4/4", res.ReadVolume, res.WriteVolume)
+	}
+	if p.Volume() != 8 {
+		t.Errorf("Volume() = %d, want 8", p.Volume())
+	}
+}
+
+func TestRunRejectsWrongSlot(t *testing.T) {
+	p := &Program{
+		N:   8,
+		Cfg: Config{M: 8, B: 4, R: 2},
+		Ops: []Op{
+			// Atom 2 lives in slot 1, not slot 0.
+			{Kind: aem.OpRead, Addr: 0, Slot: 0, Atoms: []int{2}},
+		},
+	}
+	if _, err := Run(p); err == nil || !strings.Contains(err.Error(), "absent") {
+		t.Fatalf("err = %v, want absence error", err)
+	}
+}
+
+func TestRunRejectsNonEmptyTarget(t *testing.T) {
+	p := &Program{
+		N:   8,
+		Cfg: Config{M: 8, B: 4, R: 2},
+		Ops: []Op{
+			{Kind: aem.OpRead, Addr: 0, Slot: 0, Atoms: []int{0, 1}},
+			{Kind: aem.OpWrite, Addr: 1, Atoms: []int{0, 1}},
+		},
+	}
+	if _, err := Run(p); err == nil || !strings.Contains(err.Error(), "non-empty") {
+		t.Fatalf("err = %v, want non-empty error", err)
+	}
+}
+
+func TestRunRejectsMemoryOverflow(t *testing.T) {
+	var ops []Op
+	for b := 0; b < 3; b++ {
+		ops = append(ops,
+			Op{Kind: aem.OpRead, Addr: b, Slot: 0, Atoms: []int{4 * b, 4*b + 1}},
+			Op{Kind: aem.OpRead, Addr: b, Slot: 1, Atoms: []int{4*b + 2, 4*b + 3}})
+	}
+	p := &Program{N: 12, Cfg: Config{M: 8, B: 4, R: 2}, Ops: ops}
+	if _, err := Run(p); err == nil || !strings.Contains(err.Error(), "overflows memory") {
+		t.Fatalf("err = %v, want overflow", err)
+	}
+}
+
+// roundBasedPermutationProgram builds the Lemma 4.1 round-based conversion
+// of the direct program for a random permutation.
+func roundBasedPermutationProgram(t testing.TB, cfg aem.Config, seed uint64, n int) (*program.Program, program.Placement) {
+	t.Helper()
+	_, perm := workload.Permutation(workload.NewRNG(seed), n)
+	p, err := program.FromPermutation(cfg, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := program.ConvertToRoundBased(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := program.Run(rb, program.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rb, res.Placement
+}
+
+func TestLemma43PreservesPlacement(t *testing.T) {
+	cfg := aem.Config{M: 16, B: 4, Omega: 2} // B/ω = 2
+	for _, n := range []int{8, 32, 128} {
+		rb, want := roundBasedPermutationProgram(t, cfg, uint64(n), n)
+		fp, err := SimulateAEM(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(fp)
+		if err != nil {
+			t.Fatalf("n=%d: flash program invalid: %v", n, err)
+		}
+		for a, addr := range want {
+			if res.Placement[a] != addr {
+				t.Fatalf("n=%d: atom %d at %d, want %d", n, a, res.Placement[a], addr)
+			}
+		}
+	}
+}
+
+func TestLemma43VolumeBound(t *testing.T) {
+	// The theorem's budget: volume ≤ 2N + 2QB/ω where Q is the AEM cost
+	// of the (round-based) program being simulated.
+	for _, tc := range []struct {
+		cfg aem.Config
+		n   int
+	}{
+		{aem.Config{M: 16, B: 4, Omega: 2}, 64},
+		{aem.Config{M: 32, B: 8, Omega: 4}, 256},
+		{aem.Config{M: 32, B: 8, Omega: 8}, 256},
+		{aem.Config{M: 64, B: 16, Omega: 2}, 512},
+	} {
+		rb, _ := roundBasedPermutationProgram(t, tc.cfg, 7, tc.n)
+		fp, err := SimulateAEM(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, bound := fp.Volume(), VolumeBound(rb); got > bound {
+			t.Errorf("cfg %+v N=%d: volume %d > bound %d", tc.cfg, tc.n, got, bound)
+		}
+	}
+}
+
+func TestLemma43RequiresDivisibility(t *testing.T) {
+	rb := &program.Program{N: 4, Cfg: aem.Config{M: 16, B: 4, Omega: 3}}
+	if _, err := SimulateAEM(rb); err == nil || !strings.Contains(err.Error(), "multiple of ω") {
+		t.Fatalf("err = %v, want divisibility error", err)
+	}
+	rb2 := &program.Program{N: 4, Cfg: aem.Config{M: 16, B: 4, Omega: 8}}
+	if _, err := SimulateAEM(rb2); err == nil || !strings.Contains(err.Error(), "ω ≤ B") {
+		t.Fatalf("err = %v, want ω ≤ B error", err)
+	}
+}
+
+func TestFullProofPipelineQuick(t *testing.T) {
+	// The paper's reduction chain end to end on random programs: random
+	// valid AEM program → Lemma 4.1 round-based conversion → Lemma 4.3
+	// flash simulation. The final flash program must be valid, compute the
+	// original placement, and respect the volume budget.
+	cfg := aem.Config{M: 16, B: 4, Omega: 2}
+	f := func(seed uint64, nSel, stepSel uint8) bool {
+		n := 8 + int(nSel%56)
+		steps := int(stepSel % 64)
+		p := program.Random(workload.NewRNG(seed), cfg, n, steps)
+		orig, err := program.Run(p, program.RunOptions{})
+		if err != nil {
+			return false
+		}
+		rb, err := program.ConvertToRoundBased(p)
+		if err != nil {
+			t.Logf("seed %d: convert: %v", seed, err)
+			return false
+		}
+		fp, err := SimulateAEM(rb)
+		if err != nil {
+			t.Logf("seed %d: simulate: %v", seed, err)
+			return false
+		}
+		res, err := Run(fp)
+		if err != nil {
+			t.Logf("seed %d: flash run: %v", seed, err)
+			return false
+		}
+		if fp.Volume() > VolumeBound(rb) {
+			t.Logf("seed %d: volume %d > bound %d", seed, fp.Volume(), VolumeBound(rb))
+			return false
+		}
+		for a, addr := range orig.Placement {
+			if res.Placement[a] != addr {
+				t.Logf("seed %d: atom %d misplaced", seed, a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotsPerBlock(t *testing.T) {
+	if got := (Config{M: 16, B: 8, R: 2}).SlotsPerBlock(); got != 4 {
+		t.Errorf("SlotsPerBlock = %d, want 4", got)
+	}
+}
+
+func TestLemma43OmegaOne(t *testing.T) {
+	// ω = 1: read and write blocks coincide (R = B) and the flash model
+	// degenerates to the symmetric EM model; the simulation must still be
+	// exact.
+	cfg := aem.Config{M: 16, B: 4, Omega: 1}
+	rb, want := roundBasedPermutationProgram(t, cfg, 3, 64)
+	fp, err := SimulateAEM(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Cfg.R != fp.Cfg.B {
+		t.Fatalf("ω=1 should give R = B, got R=%d B=%d", fp.Cfg.R, fp.Cfg.B)
+	}
+	res, err := Run(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, addr := range want {
+		if res.Placement[a] != addr {
+			t.Fatalf("atom %d misplaced", a)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package flash
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/aem"
+	"repro/internal/program"
+)
+
+// SimulateAEM implements Lemma 4.3: given a round-based permuting program
+// for the (M,B,ω)-AEM with ω ≤ B and B a multiple of ω, it produces a
+// program in the unit-cost flash model with read blocks of size B/ω and
+// write blocks of size B that computes the same placement, with total I/O
+// volume at most 2N + 2·Q·B/ω (Q the AEM program's cost).
+//
+// Construction, following the lemma's proof:
+//
+//  1. Removal-time normalization. Because p is a *program* (fixed op
+//     sequence), the op at which each atom will be taken out of each block
+//     it visits is known in advance. Every written block is laid out with
+//     its atoms ordered by removal time, so each future read takes a
+//     contiguous interval of the block. The initial input blocks are not
+//     so ordered; a preliminary read+write scan (volume 2N) normalizes
+//     them — this is the P′_A of the proof.
+//
+//  2. Replay. Each AEM write becomes one big-block write (volume B). Each
+//     AEM read of a set of atoms becomes the ⌈·⌉ small-block reads
+//     covering the atoms' (contiguous) interval — at most 2 of them are
+//     not fully used, which is where the 2QB/ω term comes from.
+func SimulateAEM(p *program.Program) (*Program, error) {
+	cfgA := p.Cfg
+	if cfgA.Omega > cfgA.B {
+		return nil, fmt.Errorf("flash: Lemma 4.3 needs ω ≤ B, got ω=%d B=%d", cfgA.Omega, cfgA.B)
+	}
+	if cfgA.B%cfgA.Omega != 0 {
+		return nil, fmt.Errorf("flash: Lemma 4.3 needs B a multiple of ω, got ω=%d B=%d", cfgA.Omega, cfgA.B)
+	}
+	cfgF := Config{M: cfgA.M, B: cfgA.B, R: cfgA.B / cfgA.Omega}
+	out := &Program{N: p.N, Cfg: cfgF}
+
+	// Pass 1: compute removal times. epochKey identifies one residence of
+	// an atom in a block: the address and the op index of the write that
+	// placed it there (−1 for the initial layout and for the scan phase).
+	removal := make(map[epochKey]int)
+	lastWrite := make(map[int]int) // addr → op index of last write (−1 initial)
+	for a := 0; a < p.InitialBlocks(); a++ {
+		lastWrite[a] = -1
+	}
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case aem.OpRead:
+			e, ok := lastWrite[op.Addr]
+			if !ok {
+				return nil, fmt.Errorf("flash: op %d reads unwritten block %d", i, op.Addr)
+			}
+			for _, atom := range op.Atoms {
+				removal[epochKey{op.Addr, e, atom}] = i
+			}
+		case aem.OpWrite:
+			lastWrite[op.Addr] = i
+		}
+	}
+
+	// Scan phase (P′_A): normalize every initial block in place. Reading
+	// all ω slots of a block empties it; the write lays it out by removal
+	// time. Volume: 2B per initial block = 2N (up to the last partial
+	// block).
+	layouts := make(map[int][]int) // addr → current removal-ordered layout
+	slots := cfgF.SlotsPerBlock()
+	for addr := 0; addr < p.InitialBlocks(); addr++ {
+		lo, hi := addr*cfgA.B, (addr+1)*cfgA.B
+		if hi > p.N {
+			hi = p.N
+		}
+		atoms := make([]int, 0, hi-lo)
+		for a := lo; a < hi; a++ {
+			atoms = append(atoms, a)
+		}
+		for s := 0; s < slots; s++ {
+			sLo, sHi := lo+s*cfgF.R, lo+(s+1)*cfgF.R
+			var take []int
+			for a := sLo; a < sHi && a < hi; a++ {
+				take = append(take, a)
+			}
+			out.Ops = append(out.Ops, Op{Kind: aem.OpRead, Addr: addr, Slot: s, Atoms: take})
+		}
+		ordered := orderByRemoval(atoms, addr, -1, removal)
+		out.Ops = append(out.Ops, Op{Kind: aem.OpWrite, Addr: addr, Atoms: ordered})
+		layouts[addr] = ordered
+	}
+
+	// Replay phase: translate each AEM op.
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case aem.OpRead:
+			if len(op.Atoms) == 0 {
+				continue // nothing moves; the flash program skips it
+			}
+			layout := layouts[op.Addr]
+			first, last := math.MaxInt, -1
+			inTake := make(map[int]struct{}, len(op.Atoms))
+			for _, a := range op.Atoms {
+				inTake[a] = struct{}{}
+			}
+			for pos, a := range layout {
+				if _, ok := inTake[a]; ok {
+					if pos < first {
+						first = pos
+					}
+					if pos > last {
+						last = pos
+					}
+				}
+			}
+			if last-first+1 != len(op.Atoms) {
+				return nil, fmt.Errorf("flash: op %d takes a non-contiguous interval of block %d; normalization broken", i, op.Addr)
+			}
+			for s := first / cfgF.R; s <= last/cfgF.R; s++ {
+				var take []int
+				for pos := s * cfgF.R; pos < (s+1)*cfgF.R && pos < len(layout); pos++ {
+					if _, ok := inTake[layout[pos]]; ok {
+						take = append(take, layout[pos])
+					}
+				}
+				out.Ops = append(out.Ops, Op{Kind: aem.OpRead, Addr: op.Addr, Slot: s, Atoms: take})
+			}
+		case aem.OpWrite:
+			ordered := orderByRemoval(op.Atoms, op.Addr, i, removal)
+			out.Ops = append(out.Ops, Op{Kind: aem.OpWrite, Addr: op.Addr, Atoms: ordered})
+			layouts[op.Addr] = ordered
+		}
+	}
+	return out, nil
+}
+
+type epochKey struct {
+	addr  int
+	epoch int
+	atom  int
+}
+
+// orderByRemoval sorts atoms by the op index at which they will leave the
+// (addr, epoch) block, with never-removed atoms last and ties broken by
+// atom id for determinism.
+func orderByRemoval(atoms []int, addr, epoch int, removal map[epochKey]int) []int {
+	ordered := append([]int(nil), atoms...)
+	timeOf := func(a int) int {
+		if t, ok := removal[epochKey{addr, epoch, a}]; ok {
+			return t
+		}
+		return math.MaxInt
+	}
+	sort.Slice(ordered, func(x, y int) bool {
+		tx, ty := timeOf(ordered[x]), timeOf(ordered[y])
+		if tx != ty {
+			return tx < ty
+		}
+		return ordered[x] < ordered[y]
+	})
+	return ordered
+}
+
+// VolumeBound returns the Lemma 4.3 volume budget 2N + 2·Q·B/ω for an AEM
+// program of cost Q. The input term is block-rounded (2·⌈N/B⌉·B): the
+// lemma implicitly assumes B divides N ("B should be a multiple of ω (or
+// somewhat bigger such that rounding is irrelevant)"); a partial final
+// input block still costs whole small-block transfers in the
+// normalization scan.
+func VolumeBound(p *program.Program) int64 {
+	q := p.Cost()
+	scanned := 2 * int64(p.InitialBlocks()) * int64(p.Cfg.B)
+	return scanned + 2*q*int64(p.Cfg.B)/int64(p.Cfg.Omega)
+}

@@ -1,0 +1,588 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/flash"
+	"repro/internal/permute"
+	"repro/internal/pq"
+	"repro/internal/program"
+	"repro/internal/sorting"
+	"repro/internal/spmxv"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Seed is the deterministic seed all experiments derive their inputs from.
+const Seed = 20170724 // SPAA 2017 started July 24
+
+// All returns every experiment in DESIGN.md's index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "EXP-M1", Title: "ωm-way merge cost (Theorem 3.2)",
+			Claim: "merging ωm sorted runs of N total items costs O(ω(n+m)) reads and O(n+m) writes; the normalized columns are flat across N and ω",
+			Run:   expM1},
+		{ID: "EXP-S1", Title: "AEM mergesort scaling (Section 3)",
+			Claim: "mergesort costs O(ω·n·log_{ωm} n) with writes a 1/ω fraction of reads; measured/predicted stays constant across N",
+			Run:   expS1},
+		{ID: "EXP-S2", Title: "sorting algorithms vs ω (Section 3 motivation)",
+			Claim: "the §3 mergesort works for every ω where the in-memory-pointer merge of [7] fails for ω ≳ B, and its cost ratio to the symmetric-EM mergesort falls as ω grows",
+			Run:   expS2},
+		{ID: "EXP-B1", Title: "small-sort base case ([7, Lemma 4.2])",
+			Claim: "N′ ≤ ωM items sort in O(ω·n′) reads and exactly n′ writes",
+			Run:   expB1},
+		{ID: "EXP-P1", Title: "permuting upper vs lower bound (Theorem 4.5)",
+			Claim: "best-of(direct, sort) cost is within a constant factor of min{N, ω·n·log_{ωm} n}, with the strategy switching exactly where the min switches",
+			Run:   expP1},
+		{ID: "EXP-P2", Title: "counting argument internals (§4.2)",
+			Claim: "the exact round floor from inequality (1) agrees with the closed form within constant factors across the parameter grid",
+			Run:   expP2},
+		{ID: "EXP-R1", Title: "Lemma 4.1 round-based conversion",
+			Claim: "any program converts to a round-based program on a 2M machine at ≤ 3× cost + O(ωm), preserving the computed permutation",
+			Run:   expR1},
+		{ID: "EXP-R2", Title: "Lemma 4.1 on real algorithm traces",
+			Claim: "the round-based conversion stays O(1)× on recorded executions of the paper's own algorithms, not just synthetic programs",
+			Run:   expR2},
+		{ID: "EXP-F1", Title: "Lemma 4.3 flash simulation",
+			Claim: "a round-based AEM program of cost Q becomes a flash program of volume ≤ 2N + 2QB/ω computing the same placement",
+			Run:   expF1},
+		{ID: "EXP-F2", Title: "reduction vs counting lower bound (Corollary 4.4)",
+			Claim: "the flash-reduction bound matches the counting bound's shape where ω ≤ B and is vacuous for ω > B — the range where only the counting argument applies",
+			Run:   expF2},
+		{ID: "EXP-X1", Title: "SpMxV cost vs δ (Theorem 5.1)",
+			Claim: "naive O(H+ωn) and sorting-based O(ω·h·log_{ωm} N/max{δ,B}+ωn) bracket the lower bound, and the best strategy follows the min{}",
+			Run:   expX1},
+		{ID: "EXP-A1", Title: "ablation: round-buffer size in the §3 merge",
+			Claim: "halving the per-round output multiplies the round count and with it the fixed ωm initialization reads — the design choice behind §3.1's M-sized rounds",
+			Run:   expA1},
+		{ID: "EXP-X2", Title: "SpMxV cost vs ω (Section 5)",
+			Claim: "as ω grows the sorting-based cost scales ~ω while naive stays flat in reads, moving the crossover toward naive",
+			Run:   expX2},
+	}
+}
+
+func expM1() *Table {
+	t := &Table{
+		ID:      "EXP-M1",
+		Title:   "ωm-way merge: measured I/O vs Theorem 3.2",
+		Claim:   "reads = O(ω(n+m)), writes = O(n+m)",
+		Columns: []string{"N", "omega", "reads", "writes", "reads/(w(n+m))", "writes/(n+m)"},
+	}
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+		for _, w := range []int{1, 4, 16, 64} {
+			cfg := aem.Config{M: 128, B: 8, Omega: w}
+			ma := aem.New(cfg)
+			runs := sortedRuns(ma, n, cfg.MergeFanout())
+			sorting.MergeRuns(ma, runs, sorting.MergeOptions{})
+			st := ma.Stats()
+			nb := float64(cfg.BlocksOf(n))
+			mb := float64(cfg.BlocksInMemory())
+			t.AddRow(n, w, st.Reads, st.Writes,
+				float64(st.Reads)/(float64(w)*(nb+mb)),
+				float64(st.Writes)/(nb+mb))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the two normalized columns are the Theorem 3.2 constants; flat ⇒ reproduced",
+		"constants ≈4–6 for reads come from the two-block initialization of §3.1 (the paper pays the same)")
+	return t
+}
+
+func expS1() *Table {
+	t := &Table{
+		ID:      "EXP-S1",
+		Title:   "AEM mergesort: measured vs predicted cost",
+		Claim:   "cost = O(ω·n·log_{ωm} n); reads/writes ≈ ω",
+		Columns: []string{"N", "reads", "writes", "cost", "predicted", "meas/pred", "reads/writes", "base r/w", "merge r/w", "pointer r/w"},
+	}
+	cfg := aem.Config{M: 128, B: 8, Omega: 8}
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16} {
+		ma := aem.New(cfg)
+		in := workload.Keys(workload.NewRNG(Seed), workload.Random, n)
+		sorting.MergeSort(ma, aem.Load(ma, in))
+		st := ma.Stats()
+		pred := bounds.MergeSortPredicted(bounds.Params{N: n, Cfg: cfg}).Cost(cfg.Omega)
+		ph := ma.Phases()
+		fmtPhase := func(name string) string {
+			p := ph.Phase(name)
+			return fmt.Sprintf("%d/%d", p.Reads, p.Writes)
+		}
+		t.AddRow(n, st.Reads, st.Writes, ma.Cost(), pred,
+			float64(ma.Cost())/pred, float64(st.Reads)/float64(st.Writes),
+			fmtPhase("base"), fmtPhase("merge"), fmtPhase("pointers"))
+	}
+	t.Notes = append(t.Notes,
+		"meas/pred flat across N reproduces the Section 3 bound's shape",
+		"phase columns (reads/writes) show where the I/O goes: pointer maintenance stays O(n) writes as §3.1 argues")
+	return t
+}
+
+func expS2() *Table {
+	t := &Table{
+		ID:      "EXP-S2",
+		Title:   "sorting algorithms across ω",
+		Claim:   "AEM mergesort runs for every ω; the [7]-style merge dies for ω ≳ B; cost ratio to EM mergesort falls with ω",
+		Columns: []string{"omega", "aem cost", "em cost", "samplesort", "heapsort", "aem/em", "aem writes", "em writes", "[7]-style"},
+	}
+	const n = 1 << 14
+	in := workload.Keys(workload.NewRNG(Seed+1), workload.Random, n)
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := aem.Config{M: 128, B: 8, Omega: w}
+		ma := aem.New(cfg)
+		sorting.MergeSort(ma, aem.Load(ma, in))
+		ma2 := aem.New(cfg)
+		sorting.EMMergeSort(ma2, aem.Load(ma2, in))
+		maS := aem.New(cfg)
+		sorting.EMSampleSort(maS, aem.Load(maS, in), Seed)
+		maH := aem.New(cfg)
+		pq.HeapSort(maH, aem.Load(maH, in))
+
+		legacy := "ok"
+		func() {
+			defer func() {
+				if recover() != nil {
+					legacy = "fails (ωm > M)"
+				}
+			}()
+			ma3 := aem.New(cfg)
+			sorting.MergeSortInMemoryPointers(ma3, aem.Load(ma3, in))
+		}()
+
+		t.AddRow(w, ma.Cost(), ma2.Cost(), maS.Cost(), maH.Cost(),
+			float64(ma.Cost())/float64(ma2.Cost()),
+			ma.Stats().Writes, ma2.Stats().Writes, legacy)
+	}
+	t.Notes = append(t.Notes,
+		"the asymptotic log_m/log_ωm advantage needs deeper recursions than simulator scale; the falling ratio and the write column carry the paper's point",
+		"the [7]-style merge failing at large ω is the assumption §3 removes")
+	return t
+}
+
+func expB1() *Table {
+	t := &Table{
+		ID:      "EXP-B1",
+		Title:   "small-sort base case",
+		Claim:   "N′ ≤ ωM sorts in O(ω·n′) reads and exactly n′ writes",
+		Columns: []string{"N'", "omega", "N'/M", "reads", "writes", "reads/n'", "writes/n'"},
+	}
+	for _, w := range []int{1, 4, 16} {
+		cfg := aem.Config{M: 64, B: 8, Omega: w}
+		for _, mult := range []int{1, w / 2, w} {
+			if mult < 1 {
+				continue
+			}
+			n := mult * cfg.M
+			ma := aem.New(cfg)
+			in := workload.Keys(workload.NewRNG(Seed+2), workload.Random, n)
+			sorting.SmallSort(ma, aem.Load(ma, in))
+			st := ma.Stats()
+			nb := float64(cfg.BlocksOf(n))
+			t.AddRow(n, w, mult, st.Reads, st.Writes,
+				float64(st.Reads)/nb, float64(st.Writes)/nb)
+		}
+	}
+	t.Notes = append(t.Notes, "reads/n' grows ~2·N'/M (selection passes) and writes/n' is exactly 1")
+	return t
+}
+
+func expP1() *Table {
+	t := &Table{
+		ID:      "EXP-P1",
+		Title:   "permuting: measured vs Theorem 4.5",
+		Claim:   "best-of(direct,sort) tracks min{N, ω·n·log_{ωm} n} within a constant",
+		Columns: []string{"N", "B", "omega", "direct", "sort", "best", "strategy", "closed LB", "counting LB", "wn floor", "best/maxLB"},
+	}
+	cases := []struct {
+		n   int
+		cfg aem.Config
+	}{
+		{1 << 12, aem.Config{M: 128, B: 8, Omega: 1}},
+		{1 << 12, aem.Config{M: 128, B: 8, Omega: 8}},
+		{1 << 12, aem.Config{M: 128, B: 8, Omega: 64}},
+		{1 << 14, aem.Config{M: 128, B: 8, Omega: 8}},
+		{1 << 12, aem.Config{M: 32, B: 2, Omega: 256}}, // N-term regime
+		{1 << 14, aem.Config{M: 256, B: 32, Omega: 2}}, // sort-term regime
+	}
+	for _, c := range cases {
+		items, perm := workload.Permutation(workload.NewRNG(Seed+3), c.n)
+
+		maD := aem.New(c.cfg)
+		permute.Direct(maD, aem.Load(maD, items), perm)
+		maS := aem.New(c.cfg)
+		permute.SortBased(maS, aem.Load(maS, items))
+		maB := aem.New(c.cfg)
+		_, strat := permute.Best(maB, aem.Load(maB, items), perm)
+
+		p := bounds.Params{N: c.n, Cfg: c.cfg}
+		closed := bounds.PermutingLowerBoundClosed(p)
+		counting := bounds.CountingLowerBound(bounds.Params{N: c.n,
+			Cfg: aem.Config{M: 2 * c.cfg.M, B: c.cfg.B, Omega: c.cfg.Omega}})
+		// Writing the n output blocks costs ωn no matter what; combined
+		// with Theorem 4.5 this floors every permuting program that must
+		// materialize its output.
+		wn := float64(c.cfg.Omega) * float64(c.cfg.BlocksOf(c.n))
+		maxLB := closed
+		if wn > maxLB {
+			maxLB = wn
+		}
+		t.AddRow(c.n, c.cfg.B, c.cfg.Omega, maD.Cost(), maS.Cost(), maB.Cost(),
+			strat.String(), closed, counting, wn, float64(maB.Cost())/maxLB)
+	}
+	t.Notes = append(t.Notes,
+		"counting LB evaluated with 2M per Corollary 4.2 so it validly floors the measured algorithms",
+		"strategy flips to direct exactly in the parameter corner where the bound's min{} picks N",
+		"for ω ≫ B the binding floor is the trivial output-write cost ωn, not Theorem 4.5's min{}")
+	return t
+}
+
+func expP2() *Table {
+	t := &Table{
+		ID:      "EXP-P2",
+		Title:   "counting argument internals",
+		Claim:   "R from inequality (1) ≈ closed form / (ωm)",
+		Columns: []string{"N", "M", "B", "omega", "rounds R", "counting LB", "closed LB", "counting/closed"},
+	}
+	for _, n := range []int{1 << 16, 1 << 20} {
+		for _, w := range []int{1, 8, 64} {
+			for _, b := range []int{16, 64} {
+				cfg := aem.Config{M: 1 << 10, B: b, Omega: w}
+				p := bounds.Params{N: n, Cfg: cfg}
+				r := bounds.CountingRounds(p)
+				cnt := bounds.CountingLowerBound(p)
+				closed := bounds.PermutingLowerBoundClosed(p)
+				t.AddRow(n, cfg.M, b, w, r, cnt, closed, cnt/closed)
+			}
+		}
+	}
+	return t
+}
+
+func expR1() *Table {
+	t := &Table{
+		ID:      "EXP-R1",
+		Title:   "Lemma 4.1: round-based conversion overhead",
+		Claim:   "cost(P′) ≤ 3·cost(P) + O(ωm), placement preserved, rounds valid",
+		Columns: []string{"kind", "N", "omega", "cost P", "cost P'", "factor", "rounds", "placement"},
+	}
+	addCase := func(kind string, p *program.Program) {
+		orig, err := program.Run(p, program.RunOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("harness: invalid base program: %v", err))
+		}
+		rb, err := program.ConvertToRoundBased(p)
+		if err != nil {
+			panic(fmt.Sprintf("harness: conversion: %v", err))
+		}
+		conv, err := program.Run(rb, program.RunOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("harness: converted program: %v", err))
+		}
+		ok := "preserved"
+		if !orig.Placement.Equal(conv.Placement) {
+			ok = "BROKEN"
+		}
+		w := p.Cfg.Omega
+		t.AddRow(kind, p.N, w, orig.Cost(w), conv.Cost(w),
+			float64(conv.Cost(w))/float64(orig.Cost(w)), len(rb.RoundMarks), ok)
+	}
+	for _, n := range []int{256, 1024} {
+		for _, w := range []int{2, 8} {
+			cfg := aem.Config{M: 32, B: 4, Omega: w}
+			_, perm := workload.Permutation(workload.NewRNG(Seed+4), n)
+			p, err := program.FromPermutation(cfg, perm)
+			if err != nil {
+				panic(err)
+			}
+			addCase("permutation", p)
+		}
+	}
+	for _, seed := range []uint64{Seed + 5, Seed + 6} {
+		p := program.Random(workload.NewRNG(seed), aem.Config{M: 32, B: 4, Omega: 4}, 128, 400)
+		addCase("random", p)
+	}
+	return t
+}
+
+func expF1() *Table {
+	t := &Table{
+		ID:      "EXP-F1",
+		Title:   "Lemma 4.3: flash simulation volume",
+		Claim:   "volume ≤ 2N + 2QB/ω; placement preserved",
+		Columns: []string{"N", "B", "omega", "Q (AEM)", "volume", "bound", "volume/bound", "placement"},
+	}
+	for _, c := range []struct {
+		cfg aem.Config
+		n   int
+	}{
+		{aem.Config{M: 16, B: 4, Omega: 2}, 256},
+		{aem.Config{M: 32, B: 8, Omega: 2}, 512},
+		{aem.Config{M: 32, B: 8, Omega: 4}, 512},
+		{aem.Config{M: 32, B: 8, Omega: 8}, 512},
+		{aem.Config{M: 64, B: 16, Omega: 4}, 1024},
+	} {
+		_, perm := workload.Permutation(workload.NewRNG(Seed+7), c.n)
+		p, err := program.FromPermutation(c.cfg, perm)
+		if err != nil {
+			panic(err)
+		}
+		rb, err := program.ConvertToRoundBased(p)
+		if err != nil {
+			panic(err)
+		}
+		want, err := program.Run(rb, program.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		fp, err := flash.SimulateAEM(rb)
+		if err != nil {
+			panic(err)
+		}
+		res, err := flash.Run(fp)
+		if err != nil {
+			panic(err)
+		}
+		ok := "preserved"
+		for a, addr := range want.Placement {
+			if res.Placement[a] != addr {
+				ok = "BROKEN"
+				break
+			}
+		}
+		bound := flash.VolumeBound(rb)
+		t.AddRow(c.n, c.cfg.B, c.cfg.Omega, rb.Cost(), fp.Volume(), bound,
+			float64(fp.Volume())/float64(bound), ok)
+	}
+	return t
+}
+
+func expF2() *Table {
+	t := &Table{
+		ID:      "EXP-F2",
+		Title:   "reduction vs counting lower bound",
+		Claim:   "reduction bound applies only for ω ≤ B; counting bound covers every ω",
+		Columns: []string{"N", "B", "omega", "reduction LB", "counting LB", "closed LB"},
+	}
+	const n = 1 << 20
+	for _, b := range []int{16, 64} {
+		for _, w := range []int{1, 4, 16, 64, 256} {
+			cfg := aem.Config{M: 1 << 10, B: b, Omega: w}
+			p := bounds.Params{N: n, Cfg: cfg}
+			red := bounds.ReductionLowerBound(p)
+			redStr := fmtVal(red)
+			if w > b {
+				redStr = "n/a (ω>B)"
+			}
+			t.AddRow(n, b, w, redStr,
+				bounds.CountingLowerBound(p), bounds.PermutingLowerBoundClosed(p))
+		}
+	}
+	t.Notes = append(t.Notes, "this is the paper's remark that the counting bound is slightly stronger for some parameter ranges")
+	return t
+}
+
+func expX1() *Table {
+	t := &Table{
+		ID:      "EXP-X1",
+		Title:   "SpMxV: measured cost vs δ",
+		Claim:   "naive and sorting-based bracket Theorem 5.1's bound; best follows the min{}",
+		Columns: []string{"machine", "delta", "H", "naive", "sort", "best strat", "closed LB", "best/LB"},
+	}
+	const n = 1 << 11
+	for _, cfg := range []aem.Config{
+		{M: 128, B: 8, Omega: 4},  // write-averse machine: naive regime
+		{M: 512, B: 32, Omega: 1}, // symmetric, big blocks: sorting regime
+	} {
+		for _, delta := range []int{1, 2, 4, 8, 16, 32} {
+			rng := workload.NewRNG(Seed + 8)
+			conf := workload.NewConformation(rng, n, delta)
+			values := make([]int64, conf.H())
+			for i := range values {
+				values[i] = int64(rng.Intn(100))
+			}
+			x := make([]int64, n)
+			for i := range x {
+				x[i] = int64(rng.Intn(100))
+			}
+
+			maN := aem.New(cfg)
+			mN := spmxv.NewMatrix(maN, conf, values)
+			spmxv.Naive(maN, mN, spmxv.LoadDense(maN, x))
+
+			maS := aem.New(cfg)
+			mS := spmxv.NewMatrix(maS, conf, values)
+			spmxv.SortBased(maS, mS, spmxv.LoadDense(maS, x))
+
+			p := bounds.SpMxVParams{Params: bounds.Params{N: n, Cfg: cfg}, Delta: delta}
+			lb := bounds.SpMxVLowerBoundClosed(p)
+			best := maN.Cost()
+			strat := "naive"
+			if maS.Cost() < best {
+				best = maS.Cost()
+				strat = "sort"
+			}
+			t.AddRow(fmt.Sprintf("B=%d w=%d", cfg.B, cfg.Omega), delta, conf.H(), maN.Cost(), maS.Cost(), strat, lb, float64(best)/lb)
+		}
+	}
+	t.Notes = append(t.Notes, "the two machines sit on opposite sides of Theorem 5.1's min{}: big blocks with symmetric cost favor sorting, write-averse machines favor the direct program")
+	return t
+}
+
+func expX2() *Table {
+	t := &Table{
+		ID:      "EXP-X2",
+		Title:   "SpMxV: measured cost vs ω",
+		Claim:   "sorting-based scales ~ω; naive reads stay flat so large ω favors naive",
+		Columns: []string{"omega", "naive", "sort", "naive/sort", "predicted best"},
+	}
+	const n, delta = 1 << 11, 4
+	rng := workload.NewRNG(Seed + 9)
+	conf := workload.NewConformation(rng, n, delta)
+	values := make([]int64, conf.H())
+	for i := range values {
+		values[i] = int64(rng.Intn(100))
+	}
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = int64(rng.Intn(100))
+	}
+	for _, w := range []int{1, 4, 16, 64, 256} {
+		cfg := aem.Config{M: 128, B: 8, Omega: w}
+		maN := aem.New(cfg)
+		mN := spmxv.NewMatrix(maN, conf, values)
+		spmxv.Naive(maN, mN, spmxv.LoadDense(maN, x))
+		maS := aem.New(cfg)
+		mS := spmxv.NewMatrix(maS, conf, values)
+		spmxv.SortBased(maS, mS, spmxv.LoadDense(maS, x))
+
+		p := bounds.SpMxVParams{Params: bounds.Params{N: n, Cfg: cfg}, Delta: delta}
+		pred := "sort"
+		if bounds.SpMxVNaivePredicted(p).Cost(w) <= bounds.SpMxVSortPredicted(p).Cost(w) {
+			pred = "naive"
+		}
+		t.AddRow(w, maN.Cost(), maS.Cost(),
+			float64(maN.Cost())/float64(maS.Cost()), pred)
+	}
+	return t
+}
+
+// sortedRuns builds k sorted runs totalling n random items on the machine.
+func sortedRuns(ma *aem.Machine, n, k int) []*aem.Vector {
+	all := workload.Keys(workload.NewRNG(Seed), workload.Random, n)
+	per := (n + k - 1) / k
+	var runs []*aem.Vector
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		chunk := make([]aem.Item, hi-lo)
+		copy(chunk, all[lo:hi])
+		sortChunk(chunk)
+		runs = append(runs, aem.Load(ma, chunk))
+	}
+	return runs
+}
+
+func sortChunk(items []aem.Item) {
+	if len(items) < 2 {
+		return
+	}
+	mid := len(items) / 2
+	left := make([]aem.Item, mid)
+	copy(left, items[:mid])
+	right := make([]aem.Item, len(items)-mid)
+	copy(right, items[mid:])
+	sortChunk(left)
+	sortChunk(right)
+	i, j := 0, 0
+	for k := range items {
+		if j >= len(right) || (i < len(left) && aem.Less(left[i], right[j])) {
+			items[k] = left[i]
+			i++
+		} else {
+			items[k] = right[j]
+			j++
+		}
+	}
+}
+
+func expR2() *Table {
+	t := &Table{
+		ID:      "EXP-R2",
+		Title:   "Lemma 4.1 applied to recorded algorithm traces",
+		Claim:   "conversion factor O(1) on real executions; budget 3×Q + O(ωm)",
+		Columns: []string{"algorithm", "N", "omega", "trace ops", "Q", "Q'", "factor", "rounds", "saved reads"},
+	}
+	cfg := aem.Config{M: 64, B: 8, Omega: 8}
+	cases := []struct {
+		name string
+		n    int
+		run  func(*aem.Machine, int)
+	}{
+		{"aem mergesort", 4096, func(ma *aem.Machine, n int) {
+			in := workload.Keys(workload.NewRNG(Seed+10), workload.Random, n)
+			sorting.MergeSort(ma, aem.Load(ma, in))
+		}},
+		{"em mergesort", 4096, func(ma *aem.Machine, n int) {
+			in := workload.Keys(workload.NewRNG(Seed+11), workload.Random, n)
+			sorting.EMMergeSort(ma, aem.Load(ma, in))
+		}},
+		{"em samplesort", 4096, func(ma *aem.Machine, n int) {
+			in := workload.Keys(workload.NewRNG(Seed+12), workload.Random, n)
+			sorting.EMSampleSort(ma, aem.Load(ma, in), Seed)
+		}},
+		{"spmxv sort-based", 512, func(ma *aem.Machine, n int) {
+			conf := workload.NewConformation(workload.NewRNG(Seed+13), n, 4)
+			vals := make([]int64, conf.H())
+			x := make([]int64, n)
+			m := spmxv.NewMatrix(ma, conf, vals)
+			spmxv.SortBased(ma, m, spmxv.LoadDense(ma, x))
+		}},
+	}
+	for _, c := range cases {
+		ma := aem.New(cfg)
+		ma.StartTrace()
+		c.run(ma, c.n)
+		ops := ma.StopTrace()
+		conv := trace.Convert(ops, cfg)
+		t.AddRow(c.name, c.n, cfg.Omega, len(ops), conv.Original, conv.Converted,
+			conv.Factor(), conv.Rounds, conv.SavedReads)
+	}
+	t.Notes = append(t.Notes,
+		"each recorded trace is exactly the paper's §2 notion of the program an algorithm induces on one input",
+		"the ≈2.3 factor is the snapshot cost: each round re-parks up to m blocks of memory, roughly doubling the round's ωm budget — the constant the lemma's charging argument absorbs")
+	return t
+}
+
+func expA1() *Table {
+	t := &Table{
+		ID:      "EXP-A1",
+		Title:   "ablation: round-buffer size vs merge cost",
+		Claim:   "cost grows as the round buffer shrinks (rounds × ωm init reads dominate)",
+		Columns: []string{"buffer cap", "rounds", "reads", "writes", "cost", "cost vs full"},
+	}
+	cfg := aem.Config{M: 128, B: 8, Omega: 8}
+	const n = 1 << 13
+	full := int64(0)
+	for _, capBuf := range []int{0, 32, 16, 8} { // 0 = auto (≈44 at this config)
+		ma := aem.New(cfg)
+		runs := sortedRuns(ma, n, cfg.MergeFanout())
+		sorting.MergeRuns(ma, runs, sorting.MergeOptions{MaxBuffer: capBuf})
+		st := ma.Stats()
+		if capBuf == 0 {
+			full = ma.Cost()
+		}
+		label, roundsCol := "auto", "-"
+		if capBuf > 0 {
+			label = fmtVal(capBuf)
+			roundsCol = fmtVal((n + capBuf - 1) / capBuf)
+		}
+		t.AddRow(label, roundsCol, st.Reads, st.Writes, ma.Cost(),
+			float64(ma.Cost())/float64(full))
+	}
+	t.Notes = append(t.Notes,
+		"the paper's round structure outputs ~M items per round precisely to amortize the per-round ωm-read initialization; the ablation quantifies that choice")
+	return t
+}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunAndRender(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run()
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(tbl.Columns))
+				}
+			}
+			var text, csv bytes.Buffer
+			tbl.Render(&text)
+			tbl.CSV(&csv)
+			if !strings.Contains(text.String(), e.ID) {
+				t.Error("rendered text missing experiment id")
+			}
+			if lines := strings.Count(csv.String(), "\n"); lines != len(tbl.Rows)+1 {
+				t.Errorf("CSV has %d lines, want %d", lines, len(tbl.Rows)+1)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("EXP-M1"); !ok {
+		t.Error("EXP-M1 not found")
+	}
+	if _, ok := ByID("EXP-NOPE"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestProofPipelineExperimentsReportPreserved(t *testing.T) {
+	for _, id := range []string{"EXP-R1", "EXP-F1"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		tbl := e.Run()
+		col := -1
+		for i, c := range tbl.Columns {
+			if c == "placement" {
+				col = i
+			}
+		}
+		if col < 0 {
+			t.Fatalf("%s has no placement column", id)
+		}
+		for _, row := range tbl.Rows {
+			if row[col] != "preserved" {
+				t.Errorf("%s: placement %q", id, row[col])
+			}
+		}
+	}
+}
+
+func TestMergeConstantsAreFlat(t *testing.T) {
+	// The reproduction criterion for EXP-M1: the normalized read and write
+	// constants vary by at most 4× across the entire sweep (they are
+	// Theorem 3.2's O(1) factors).
+	e, _ := ByID("EXP-M1")
+	tbl := e.Run()
+	checkFlat := func(col string, maxSpread float64) {
+		idx := -1
+		for i, c := range tbl.Columns {
+			if c == col {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			t.Fatalf("column %q missing", col)
+		}
+		lo, hi := 1e18, 0.0
+		for _, row := range tbl.Rows {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil {
+				t.Fatalf("column %q cell %q: %v", col, row[idx], err)
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi/lo > maxSpread {
+			t.Errorf("column %q spread %.2f–%.2f exceeds %vx", col, lo, hi, maxSpread)
+		}
+	}
+	checkFlat("reads/(w(n+m))", 4)
+	checkFlat("writes/(n+m)", 4)
+}
+
+func TestFmtVal(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{0.0, "0"},
+		{12345.6, "12346"},
+		{3.14159, "3.14"},
+		{0.1234, "0.1234"},
+		{"x", "x"},
+		{42, "42"},
+	}
+	for _, tc := range cases {
+		if got := fmtVal(tc.in); got != tc.want {
+			t.Errorf("fmtVal(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{ID: "T", Columns: []string{"a", "b"}}
+	tbl.AddRow(`has,comma`, `has"quote`)
+	var buf bytes.Buffer
+	tbl.CSV(&buf)
+	want := "a,b\n\"has,comma\",\"has\"\"quote\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

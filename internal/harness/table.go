@@ -1,0 +1,130 @@
+// Package harness runs the repository's experiments: one per theorem,
+// lemma or claim of the paper (the experiment index lives in DESIGN.md).
+// Each experiment sweeps a parameter range on the AEM simulator, measures
+// I/O costs, evaluates the paper's predicted bound at the same points, and
+// emits a table of measured-vs-predicted values. Tables render as aligned
+// text (for the terminal and EXPERIMENTS.md) and as CSV (for plotting).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string   // the paper statement being reproduced
+	Notes   []string // caveats, deviations, interpretation
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each value with %v (floats get
+// 3 significant decimals via fmtVal).
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		row[i] = fmtVal(v)
+	}
+	if len(row) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row has %d values for %d columns", len(row), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtVal(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		switch {
+		case x == 0:
+			return "0"
+		case x >= 1000:
+			return fmt.Sprintf("%.0f", x)
+		case x >= 1:
+			return fmt.Sprintf("%.2f", x)
+		default:
+			return fmt.Sprintf("%.4f", x)
+		}
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values (quoted where needed).
+func (t *Table) CSV(w io.Writer) {
+	writeCSVRow(w, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		parts[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(parts, ","))
+}
+
+// Experiment is a named, self-contained reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func() *Table
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,149 @@
+// Package permute implements the permuting algorithms whose cost matches
+// the lower bound of Theorem 4.5, Ω(min{N, ω·n·log_{ωm} n}):
+//
+//   - Direct gathers each output block from its ≤ B source blocks:
+//     O(N + ω·n) cost, matching the N term;
+//   - SortBased sorts the items by destination with the Section 3
+//     mergesort: O(ω·n·log_{ωm} n) cost, matching the sort term;
+//   - Best picks whichever is predicted cheaper, so its cost is within a
+//     constant factor of the lower bound everywhere.
+//
+// A permuting instance is a vector whose item at position i carries
+// Key = π(i) (the destination) and Aux = the atom's payload. The
+// permutation π itself is "program knowledge" in the paper's sense (§2: a
+// program is fixed per permutation), so the algorithms receive it as a
+// plain slice and consulting it costs no I/O; only data movement is
+// metered.
+package permute
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/sorting"
+)
+
+// Direct permutes v by gathering each output block: for output block j it
+// reads every source block containing an item destined for j (at most B of
+// them), assembles the block in internal memory, and writes it once. Cost:
+// at most N + n reads and exactly n writes, i.e. O(N + ω·n) — the "naive"
+// algorithm whose cost matches the N term of Theorem 4.5.
+//
+// perm is the destination map: the item at position i has destination
+// perm[i] and must carry Key = perm[i]. Requires M ≥ 2B.
+func Direct(ma *aem.Machine, v *aem.Vector, perm []int) *aem.Vector {
+	cfg := ma.Config()
+	if len(perm) != v.Len() {
+		panic(fmt.Sprintf("permute: perm has %d entries for %d items", len(perm), v.Len()))
+	}
+	n := v.Len()
+	out := aem.NewVector(ma, n)
+	if n == 0 {
+		return out
+	}
+
+	// Program knowledge: invert the permutation so that source[k] is the
+	// input position of the item destined for output position k.
+	source := make([]int, n)
+	for i, d := range perm {
+		if d < 0 || d >= n {
+			panic(fmt.Sprintf("permute: destination %d out of range [0,%d)", d, n))
+		}
+		source[d] = i
+	}
+
+	b := cfg.B
+	ma.Reserve(2 * b) // output buffer + input frame
+	defer ma.Release(2 * b)
+
+	outBuf := make([]aem.Item, b)
+	filled := make([]bool, b)
+	for lo := 0; lo < n; lo += b {
+		hi := lo + b
+		if hi > n {
+			hi = n
+		}
+		for i := range filled {
+			filled[i] = false
+		}
+		// Read each distinct source block once, taking every item of this
+		// output block that it holds.
+		for k := lo; k < hi; k++ {
+			if filled[k-lo] {
+				continue // already gathered from a previously read block
+			}
+			items, first := v.ReadBlock(source[k])
+			for kk := lo; kk < hi; kk++ {
+				if off := source[kk] - first; off >= 0 && off < len(items) {
+					outBuf[kk-lo] = items[off]
+					filled[kk-lo] = true
+				}
+			}
+		}
+		ma.Write(out.BlockAddr(lo), outBuf[:hi-lo])
+	}
+	return out
+}
+
+// SortBased permutes v by sorting its items by destination key with the
+// AEM mergesort: O(ω·n·log_{ωm} n) cost — the sort term of Theorem 4.5.
+// Requires M ≥ 8B.
+func SortBased(ma *aem.Machine, v *aem.Vector) *aem.Vector {
+	return sorting.MergeSort(ma, v)
+}
+
+// Strategy names the algorithm Best selected, for experiment reporting.
+type Strategy int
+
+const (
+	// StrategyDirect is the block-gather algorithm (N-term regime).
+	StrategyDirect Strategy = iota
+	// StrategySort is the mergesort algorithm (sort-term regime).
+	StrategySort
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == StrategyDirect {
+		return "direct"
+	}
+	return "sort"
+}
+
+// Best permutes v with whichever algorithm the closed-form predictions say
+// is cheaper, returning the choice. This is the upper bound that matches
+// Theorem 4.5 to within a constant factor in both regimes.
+func Best(ma *aem.Machine, v *aem.Vector, perm []int) (*aem.Vector, Strategy) {
+	p := bounds.Params{N: v.Len(), Cfg: ma.Config()}
+	direct := bounds.PermuteDirectPredicted(p).Cost(ma.Config().Omega)
+	sortC := bounds.PermuteSortPredicted(p).Cost(ma.Config().Omega)
+	if direct <= sortC {
+		return Direct(ma, v, perm), StrategyDirect
+	}
+	return SortBased(ma, v), StrategySort
+}
+
+// Verify checks that out is v permuted correctly: the item at output
+// position k must be the input item whose destination key is k. It uses
+// free Materialize reads and is intended for tests and the harness.
+func Verify(v, out *aem.Vector) error {
+	in := v.Materialize()
+	got := out.Materialize()
+	if len(in) != len(got) {
+		return fmt.Errorf("permute: output has %d items, want %d", len(got), len(in))
+	}
+	want := make([]aem.Item, len(in))
+	for _, it := range in {
+		if it.Key < 0 || it.Key >= int64(len(in)) {
+			return fmt.Errorf("permute: input item %v has destination out of range", it)
+		}
+		want[it.Key] = it
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			return fmt.Errorf("permute: position %d holds %v, want %v", k, got[k], want[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package permute
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/workload"
+)
+
+func instance(seed uint64, n int) ([]aem.Item, []int) {
+	return workload.Permutation(workload.NewRNG(seed), n)
+}
+
+func TestDirectCorrectness(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 4, Omega: 4}
+	for _, n := range []int{0, 1, 3, 4, 16, 100, 1000} {
+		ma := aem.New(cfg)
+		items, perm := instance(uint64(n), n)
+		v := aem.Load(ma, items)
+		out := Direct(ma, v, perm)
+		if err := Verify(v, out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ma.MemInUse() != 0 {
+			t.Fatalf("n=%d: leaked %d memory slots", n, ma.MemInUse())
+		}
+	}
+}
+
+func TestDirectIdentityPermutationIsCheap(t *testing.T) {
+	// The identity permutation gathers each output block from exactly one
+	// source block: n reads, n writes.
+	cfg := aem.Config{M: 64, B: 4, Omega: 4}
+	ma := aem.New(cfg)
+	const n = 400
+	items := make([]aem.Item, n)
+	perm := make([]int, n)
+	for i := range items {
+		items[i] = aem.Item{Key: int64(i), Aux: int64(i)}
+		perm[i] = i
+	}
+	out := Direct(ma, aem.Load(ma, items), perm)
+	if err := Verify(aem.Load(ma, items), out); err != nil {
+		t.Fatal(err)
+	}
+	nb := int64(cfg.BlocksOf(n))
+	if st := ma.Stats(); st.Reads != nb || st.Writes != nb {
+		t.Errorf("identity cost %+v, want reads=writes=%d", st, nb)
+	}
+}
+
+func TestDirectCostBound(t *testing.T) {
+	// O(N + ωn): at most N + n reads and exactly n writes, for any
+	// permutation.
+	cfg := aem.Config{M: 64, B: 8, Omega: 4}
+	const n = 1 << 12
+	ma := aem.New(cfg)
+	items, perm := instance(9, n)
+	Direct(ma, aem.Load(ma, items), perm)
+	st := ma.Stats()
+	nb := int64(cfg.BlocksOf(n))
+	if st.Reads > int64(n)+nb {
+		t.Errorf("reads = %d > N + n = %d", st.Reads, int64(n)+nb)
+	}
+	if st.Writes != nb {
+		t.Errorf("writes = %d, want n = %d", st.Writes, nb)
+	}
+}
+
+func TestSortBasedCorrectness(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 4, Omega: 8}
+	for _, n := range []int{0, 1, 100, 2000} {
+		ma := aem.New(cfg)
+		items, _ := instance(uint64(n)+100, n)
+		v := aem.Load(ma, items)
+		out := SortBased(ma, v)
+		if err := Verify(v, out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBestPicksCheaperStrategy(t *testing.T) {
+	// Huge ω with tiny B: direct (N-term) must win. Moderate ω with large
+	// B: sort must win. This mirrors the min{} of Theorem 4.5.
+	directCfg := aem.Config{M: 32, B: 2, Omega: 1 << 12}
+	ma := aem.New(directCfg)
+	items, perm := instance(1, 1<<10)
+	_, strat := Best(ma, aem.Load(ma, items), perm)
+	if strat != StrategyDirect {
+		t.Errorf("ω=2^12, B=2: Best chose %v, want direct", strat)
+	}
+
+	sortCfg := aem.Config{M: 256, B: 32, Omega: 2}
+	ma2 := aem.New(sortCfg)
+	items2, perm2 := instance(2, 1<<13)
+	_, strat2 := Best(ma2, aem.Load(ma2, items2), perm2)
+	if strat2 != StrategySort {
+		t.Errorf("ω=2, B=32: Best chose %v, want sort", strat2)
+	}
+}
+
+func TestBestCorrectEitherWay(t *testing.T) {
+	for _, cfg := range []aem.Config{
+		{M: 32, B: 2, Omega: 1 << 12},
+		{M: 256, B: 32, Omega: 2},
+	} {
+		ma := aem.New(cfg)
+		items, perm := instance(3, 3000)
+		v := aem.Load(ma, items)
+		out, _ := Best(ma, v, perm)
+		if err := Verify(v, out); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestMeasuredCostRespectsLowerBound(t *testing.T) {
+	// Theorem 4.5 made executable: the measured cost of the best
+	// algorithm must be at least the counting lower bound (evaluated with
+	// doubled memory per Corollary 4.2 — any M-machine program converts
+	// into a round-based 2M-machine program, to which the counting bound
+	// applies). It must also stay within a constant factor of the
+	// closed-form bound, i.e. the bounds are matching.
+	for _, w := range []int{1, 4, 16} {
+		cfg := aem.Config{M: 128, B: 8, Omega: w}
+		const n = 1 << 13
+		ma := aem.New(cfg)
+		items, perm := instance(11, n)
+		_, _ = Best(ma, aem.Load(ma, items), perm)
+		cost := float64(ma.Cost())
+
+		lbParams := bounds.Params{N: n, Cfg: aem.Config{M: 2 * cfg.M, B: cfg.B, Omega: cfg.Omega}}
+		lb := bounds.CountingLowerBound(lbParams)
+		if cost < lb {
+			t.Errorf("ω=%d: measured cost %v below counting lower bound %v", w, cost, lb)
+		}
+		closed := bounds.PermutingLowerBoundClosed(bounds.Params{N: n, Cfg: cfg})
+		if ratio := cost / closed; ratio > 50 {
+			t.Errorf("ω=%d: measured/closed-form = %.1f; upper bound not within constant factor", w, ratio)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 4, Omega: 2}
+	ma := aem.New(cfg)
+	items, _ := instance(5, 64)
+	v := aem.Load(ma, items)
+	bad := aem.Load(ma, items) // unpermuted: wrong placement
+	if err := Verify(v, bad); err == nil {
+		t.Error("Verify accepted an unpermuted output")
+	}
+	short := aem.Load(ma, items[:32])
+	if err := Verify(v, short); err == nil {
+		t.Error("Verify accepted a truncated output")
+	}
+}
+
+func TestDirectQuick(t *testing.T) {
+	f := func(seed uint64, nSel uint16, bSel uint8) bool {
+		n := int(nSel%2000) + 1
+		b := 1 + int(bSel%8)
+		cfg := aem.Config{M: 8 * b, B: b, Omega: 3}
+		ma := aem.New(cfg)
+		items, perm := workload.Permutation(workload.NewRNG(seed), n)
+		v := aem.Load(ma, items)
+		out := Direct(ma, v, perm)
+		return Verify(v, out) == nil && ma.MemInUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,379 @@
+// Package pq implements an external-memory priority queue (a sequence
+// heap in the style of Sanders) on the AEM machine, and the heapsort built
+// on it.
+//
+// The paper's §1.1 cites the heapsort of Blelloch et al. [7] as achieving
+// O(ω·n·log_{ωm} n) unconditionally; that construction's details are not
+// in this paper and are out of scope (see DESIGN.md). This package
+// provides the *classic external-memory sequence heap* run on the AEM
+// machine — cost Θ((1+ω)·n·log_m n) for a full insert/delete lifetime —
+// serving two roles: a genuinely useful substrate (interleaved
+// Push/DeleteMin with external state), and the heapsort baseline
+// `HeapSort` alongside the symmetric mergesort and sample sort baselines.
+//
+// Structure: an in-memory insertion buffer (IB) and deletion buffer (DB)
+// of ~M/8 items each, plus sorted runs on disk organized in levels, with
+// one resident block frame per live run (the classic EM frontier). A full
+// IB is sorted (free internal computation) and written as a level-0 run;
+// when the live-run count exceeds the frame budget ~M/(2B), levels are
+// merged. DB refills take the globally smallest unconsumed items from the
+// run frontiers.
+package pq
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+	"repro/internal/sorting"
+)
+
+// Queue is an external-memory min-priority queue of aem.Items ordered by
+// the (Key, Aux) total order.
+type Queue struct {
+	ma  *aem.Machine
+	cfg aem.Config
+
+	insertBuf []aem.Item // unsorted, capacity capIB
+	deleteBuf []aem.Item // ascending; deleteBuf[0] is the global minimum
+	capIB     int
+	capDB     int
+
+	levels [][]*run
+	size   int
+
+	baseRes   int  // IB + DB reservation, held for the queue's lifetime
+	framesRes int  // run-frame reservation, dropped around compaction
+	framesIn  bool // whether framesRes is currently reserved
+}
+
+// run is a sorted on-disk run with a frontier cursor and a lazily loaded
+// resident block frame.
+type run struct {
+	vec      *aem.Vector
+	consumed int // items already handed to the deletion buffer
+	frame    []aem.Item
+	frameLo  int
+}
+
+// remaining returns how many items of the run are unconsumed.
+func (r *run) remaining() int { return r.vec.Len() - r.consumed }
+
+// head returns the run's smallest unconsumed item; the frame must be
+// loaded.
+func (r *run) head() aem.Item { return r.frame[r.consumed-r.frameLo] }
+
+// New creates an empty queue on the machine, reserving ~3M/4 of internal
+// memory (buffers + run frames) for its lifetime; Close releases it.
+// Requires M ≥ 16B.
+func New(ma *aem.Machine) *Queue {
+	cfg := ma.Config()
+	if cfg.M < 16*cfg.B {
+		panic(fmt.Sprintf("pq: need M ≥ 16B, got M=%d B=%d", cfg.M, cfg.B))
+	}
+	q := &Queue{
+		ma:    ma,
+		cfg:   cfg,
+		capIB: cfg.M / 8,
+		capDB: cfg.M / 8,
+	}
+	q.baseRes = q.capIB + q.capDB
+	q.framesRes = q.maxRuns() * cfg.B
+	ma.Reserve(q.baseRes)
+	ma.Reserve(q.framesRes)
+	q.framesIn = true
+	return q
+}
+
+// maxRuns is the frame budget: one resident block per live run, within
+// half the memory.
+func (q *Queue) maxRuns() int {
+	r := q.cfg.M / (2 * q.cfg.B)
+	if r < 2 {
+		r = 2
+	}
+	return r
+}
+
+// Close releases the queue's internal memory. The queue must be empty.
+func (q *Queue) Close() {
+	if q.size != 0 {
+		panic(fmt.Sprintf("pq: Close with %d items still queued", q.size))
+	}
+	q.ma.Release(q.baseRes)
+	if q.framesIn {
+		q.ma.Release(q.framesRes)
+	}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return q.size }
+
+// Push inserts an item.
+func (q *Queue) Push(it aem.Item) {
+	// If it sorts below the current deletion-buffer maximum it must enter
+	// the deletion buffer, or DeleteMin order would break.
+	if len(q.deleteBuf) > 0 && aem.Less(it, q.deleteBuf[len(q.deleteBuf)-1]) {
+		q.deleteBuf = insertSorted(q.deleteBuf, it)
+		if len(q.deleteBuf) > q.capDB {
+			last := q.deleteBuf[len(q.deleteBuf)-1]
+			q.deleteBuf = q.deleteBuf[:len(q.deleteBuf)-1]
+			q.pushInsertBuf(last)
+		}
+	} else {
+		q.pushInsertBuf(it)
+	}
+	q.size++
+}
+
+func (q *Queue) pushInsertBuf(it aem.Item) {
+	q.insertBuf = append(q.insertBuf, it)
+	if len(q.insertBuf) >= q.capIB {
+		q.flushInsertBuf()
+	}
+}
+
+// flushInsertBuf sorts the insertion buffer and writes it as a level-0
+// run, compacting levels if the run budget is exceeded.
+func (q *Queue) flushInsertBuf() {
+	if len(q.insertBuf) == 0 {
+		return
+	}
+	sortItems(q.insertBuf)
+	vec := aem.NewVector(q.ma, len(q.insertBuf))
+	w := vec.NewWriter()
+	for _, it := range q.insertBuf {
+		w.Append(it)
+	}
+	w.Close()
+	q.insertBuf = q.insertBuf[:0]
+	q.addRun(0, &run{vec: vec, frameLo: -1})
+	if q.totalRuns() > q.maxRuns() {
+		q.compact()
+	}
+}
+
+func (q *Queue) addRun(level int, r *run) {
+	for len(q.levels) <= level {
+		q.levels = append(q.levels, nil)
+	}
+	q.levels[level] = append(q.levels[level], r)
+}
+
+// compact merges each multi-run level into a single run of the next
+// level, lowest level first, until the live-run count fits the frame
+// budget. The run frames are dropped for the duration so MergeRuns can
+// use the freed memory.
+func (q *Queue) compact() {
+	q.dropFrames()
+	for level := 0; level < len(q.levels) && q.totalRuns() > q.maxRuns()/2; level++ {
+		if len(q.levels[level]) < 2 {
+			continue
+		}
+		vecs := make([]*aem.Vector, 0, len(q.levels[level]))
+		for _, r := range q.levels[level] {
+			if r.remaining() > 0 {
+				vecs = append(vecs, q.suffixVector(r))
+			}
+		}
+		q.levels[level] = nil
+		if len(vecs) == 0 {
+			continue
+		}
+		merged := sorting.MergeRuns(q.ma, vecs, sorting.MergeOptions{})
+		q.addRun(level+1, &run{vec: merged, frameLo: -1})
+	}
+	q.ma.Reserve(q.framesRes)
+	q.framesIn = true
+	if q.totalRuns() > q.maxRuns() {
+		panic(fmt.Sprintf("pq: %d live runs exceed budget %d after compaction", q.totalRuns(), q.maxRuns()))
+	}
+}
+
+func (q *Queue) dropFrames() {
+	for _, lv := range q.levels {
+		for _, r := range lv {
+			r.frame, r.frameLo = nil, -1
+		}
+	}
+	if q.framesIn {
+		q.ma.Release(q.framesRes)
+		q.framesIn = false
+	}
+}
+
+// suffixVector returns a vector of the run's unconsumed items. A
+// block-aligned frontier is a free slice view; otherwise the suffix is
+// copied (O(remaining/B) I/Os, amortized into the merge that needed it).
+func (q *Queue) suffixVector(r *run) *aem.Vector {
+	b := q.cfg.B
+	if r.consumed%b == 0 {
+		return r.vec.Slice(r.consumed, r.vec.Len())
+	}
+	out := aem.NewVector(q.ma, r.remaining())
+	w := out.NewWriter()
+	sc := r.vec.Slice((r.consumed/b)*b, r.vec.Len()).NewScanner()
+	skip := r.consumed % b
+	for {
+		it, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		w.Append(it)
+	}
+	sc.Close()
+	w.Close()
+	return out
+}
+
+func (q *Queue) totalRuns() int {
+	total := 0
+	for _, lv := range q.levels {
+		total += len(lv)
+	}
+	return total
+}
+
+// Min returns the smallest item without removing it.
+func (q *Queue) Min() (aem.Item, bool) {
+	if q.size == 0 {
+		return aem.Item{}, false
+	}
+	q.ensureDeleteBuf()
+	return q.deleteBuf[0], true
+}
+
+// DeleteMin removes and returns the smallest item.
+func (q *Queue) DeleteMin() (aem.Item, bool) {
+	if q.size == 0 {
+		return aem.Item{}, false
+	}
+	q.ensureDeleteBuf()
+	it := q.deleteBuf[0]
+	q.deleteBuf = q.deleteBuf[1:]
+	q.size--
+	return it, true
+}
+
+// ensureDeleteBuf refills the deletion buffer with the capDB smallest
+// unconsumed items across the insertion buffer and all run frontiers.
+func (q *Queue) ensureDeleteBuf() {
+	if len(q.deleteBuf) > 0 {
+		return
+	}
+	// Fold the insertion buffer into a run so every source is sorted.
+	// (At most once per capIB insertions or capDB deletions.)
+	q.flushInsertBuf()
+
+	buf := make([]aem.Item, 0, q.capDB)
+	for len(buf) < q.capDB {
+		var best *run
+		for _, lv := range q.levels {
+			for _, r := range lv {
+				if r.remaining() == 0 {
+					continue
+				}
+				q.loadFrontier(r)
+				if best == nil || aem.Less(r.head(), best.head()) {
+					best = r
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		buf = append(buf, best.head())
+		best.consumed++
+	}
+	q.deleteBuf = buf
+	if q.size > 0 && len(q.deleteBuf) == 0 {
+		panic("pq: refill produced nothing despite non-empty queue")
+	}
+}
+
+// loadFrontier makes sure the block containing the run's next unconsumed
+// item is resident (one read when the frontier crosses a block boundary).
+func (q *Queue) loadFrontier(r *run) {
+	if r.frameLo >= 0 && r.consumed >= r.frameLo && r.consumed < r.frameLo+len(r.frame) {
+		return
+	}
+	r.frame, r.frameLo = r.vec.ReadBlock(r.consumed)
+}
+
+// insertSorted inserts it into the ascending slice.
+func insertSorted(buf []aem.Item, it aem.Item) []aem.Item {
+	lo, hi := 0, len(buf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if aem.Less(buf[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	buf = append(buf, aem.Item{})
+	copy(buf[lo+1:], buf[lo:])
+	buf[lo] = it
+	return buf
+}
+
+// sortItems is an in-place sort by (Key, Aux); internal computation is
+// free in the model.
+func sortItems(items []aem.Item) {
+	if len(items) < 16 {
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && aem.Less(items[j], items[j-1]); j-- {
+				items[j], items[j-1] = items[j-1], items[j]
+			}
+		}
+		return
+	}
+	pivot := items[len(items)/2]
+	lo, hi := 0, len(items)-1
+	for lo <= hi {
+		for aem.Less(items[lo], pivot) {
+			lo++
+		}
+		for aem.Less(pivot, items[hi]) {
+			hi--
+		}
+		if lo <= hi {
+			items[lo], items[hi] = items[hi], items[lo]
+			lo++
+			hi--
+		}
+	}
+	sortItems(items[:hi+1])
+	sortItems(items[lo:])
+}
+
+// HeapSort sorts v by pushing every item through a Queue — the heapsort
+// baseline (classic EM sequence heap on the AEM machine).
+func HeapSort(ma *aem.Machine, v *aem.Vector) *aem.Vector {
+	q := New(ma)
+	sc := v.NewScanner()
+	for {
+		it, ok := sc.Next()
+		if !ok {
+			break
+		}
+		q.Push(it)
+	}
+	sc.Close()
+
+	out := aem.NewVector(ma, v.Len())
+	w := out.NewWriter()
+	for {
+		it, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		w.Append(it)
+	}
+	w.Close()
+	q.Close()
+	return out
+}

@@ -1,0 +1,202 @@
+package pq
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aem"
+	"repro/internal/sorting"
+	"repro/internal/workload"
+)
+
+func pqConfig() aem.Config { return aem.Config{M: 256, B: 8, Omega: 4} }
+
+func TestPushDeleteMinSortedOrder(t *testing.T) {
+	ma := aem.New(pqConfig())
+	q := New(ma)
+	in := workload.Keys(workload.NewRNG(1), workload.Random, 3000)
+	for _, it := range in {
+		q.Push(it)
+	}
+	if q.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(in))
+	}
+	var out []aem.Item
+	for {
+		it, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		out = append(out, it)
+	}
+	if !sorting.IsSorted(out) {
+		t.Fatal("DeleteMin order not sorted")
+	}
+	if !sorting.SameMultiset(in, out) {
+		t.Fatal("queue lost or invented items")
+	}
+	q.Close()
+	if ma.MemInUse() != 0 {
+		t.Fatalf("leaked %d memory slots", ma.MemInUse())
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	ma := aem.New(pqConfig())
+	q := New(ma)
+	if _, ok := q.DeleteMin(); ok {
+		t.Error("DeleteMin on empty queue returned ok")
+	}
+	if _, ok := q.Min(); ok {
+		t.Error("Min on empty queue returned ok")
+	}
+	q.Close()
+}
+
+func TestMinDoesNotRemove(t *testing.T) {
+	ma := aem.New(pqConfig())
+	q := New(ma)
+	q.Push(aem.Item{Key: 5})
+	q.Push(aem.Item{Key: 3})
+	if it, ok := q.Min(); !ok || it.Key != 3 {
+		t.Fatalf("Min = %v, %t", it, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Min removed an item: Len = %d", q.Len())
+	}
+	if it, _ := q.DeleteMin(); it.Key != 3 {
+		t.Fatalf("DeleteMin = %v", it)
+	}
+	if it, _ := q.DeleteMin(); it.Key != 5 {
+		t.Fatalf("second DeleteMin = %v", it)
+	}
+	q.Close()
+}
+
+// refItem adapts items to container/heap for the reference model.
+type refHeap []aem.Item
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return aem.Less(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(aem.Item)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func TestInterleavedAgainstReferenceHeap(t *testing.T) {
+	// Random interleavings of Push and DeleteMin must match
+	// container/heap exactly.
+	rng := workload.NewRNG(7)
+	ma := aem.New(pqConfig())
+	q := New(ma)
+	ref := &refHeap{}
+	var key int64
+	for step := 0; step < 20000; step++ {
+		if ref.Len() == 0 || rng.Intn(3) != 0 {
+			it := aem.Item{Key: int64(rng.Intn(1000)), Aux: key}
+			key++
+			q.Push(it)
+			heap.Push(ref, it)
+		} else {
+			got, ok := q.DeleteMin()
+			want := heap.Pop(ref).(aem.Item)
+			if !ok || got != want {
+				t.Fatalf("step %d: DeleteMin = %v, want %v", step, got, want)
+			}
+		}
+	}
+	for ref.Len() > 0 {
+		got, _ := q.DeleteMin()
+		want := heap.Pop(ref).(aem.Item)
+		if got != want {
+			t.Fatalf("drain: got %v, want %v", got, want)
+		}
+	}
+	q.Close()
+	if ma.MemInUse() != 0 {
+		t.Fatalf("leaked %d memory slots", ma.MemInUse())
+	}
+}
+
+func TestHeapSort(t *testing.T) {
+	for _, dist := range workload.Dists() {
+		for _, n := range []int{0, 1, 100, 2000, 8000} {
+			ma := aem.New(pqConfig())
+			in := workload.Keys(workload.NewRNG(uint64(n)+3), dist, n)
+			out := HeapSort(ma, aem.Load(ma, in)).Materialize()
+			if !sorting.IsSorted(out) {
+				t.Fatalf("dist=%v n=%d: not sorted", dist, n)
+			}
+			if !sorting.SameMultiset(in, out) {
+				t.Fatalf("dist=%v n=%d: multiset broken", dist, n)
+			}
+			if ma.MemInUse() != 0 {
+				t.Fatalf("dist=%v n=%d: leaked %d slots", dist, n, ma.MemInUse())
+			}
+		}
+	}
+}
+
+func TestHeapSortCostClass(t *testing.T) {
+	// The sequence heap is an EM-class sorter: its cost should be within
+	// a small factor of the EM mergesort's on the same machine.
+	cfg := pqConfig()
+	in := workload.Keys(workload.NewRNG(4), workload.Random, 1<<13)
+	ma1 := aem.New(cfg)
+	HeapSort(ma1, aem.Load(ma1, in))
+	ma2 := aem.New(cfg)
+	sorting.EMMergeSort(ma2, aem.Load(ma2, in))
+	if ma1.Cost() > 8*ma2.Cost() {
+		t.Errorf("heapsort cost %d > 8× EM mergesort %d", ma1.Cost(), ma2.Cost())
+	}
+}
+
+func TestQueueTooSmallMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for M < 16B")
+		}
+	}()
+	New(aem.New(aem.Config{M: 32, B: 4, Omega: 2}))
+}
+
+func TestQuickRandomOps(t *testing.T) {
+	f := func(seed uint64, opsSel []byte) bool {
+		rng := workload.NewRNG(seed)
+		ma := aem.New(aem.Config{M: 128, B: 4, Omega: 2})
+		q := New(ma)
+		ref := &refHeap{}
+		var key int64
+		for _, b := range opsSel {
+			if ref.Len() == 0 || b%4 != 0 {
+				it := aem.Item{Key: int64(rng.Intn(64)), Aux: key}
+				key++
+				q.Push(it)
+				heap.Push(ref, it)
+			} else {
+				got, ok := q.DeleteMin()
+				want := heap.Pop(ref).(aem.Item)
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		for ref.Len() > 0 {
+			got, _ := q.DeleteMin()
+			if got != heap.Pop(ref).(aem.Item) {
+				return false
+			}
+		}
+		q.Close()
+		return ma.MemInUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+	"repro/internal/workload"
+)
+
+// FromPermutation constructs the straight-line program that realizes the
+// permutation perm (atom i moves to output position perm[i]) with the
+// direct block-gather strategy: for each output block, read the source
+// blocks holding its atoms (taking exactly those atoms) and write the
+// assembled block to a fresh address. Atom perm-destination d ends in
+// block ⌈N/B⌉ + d/B.
+//
+// This is the program-level counterpart of permute.Direct and the standard
+// witness that any permutation is realizable at cost O(N + ωn); it is the
+// workhorse input for exercising Lemma 4.1 and Lemma 4.3.
+func FromPermutation(cfg aem.Config, perm []int) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(perm)
+	p := &Program{N: n, Cfg: cfg}
+	if n == 0 {
+		return p, nil
+	}
+	source := make([]int, n)
+	seen := make([]bool, n)
+	for i, d := range perm {
+		if d < 0 || d >= n || seen[d] {
+			return nil, fmt.Errorf("program: perm is not a permutation at index %d", i)
+		}
+		seen[d] = true
+		source[d] = i
+	}
+
+	b := cfg.B
+	inBlocks := cfg.BlocksOf(n)
+	for lo := 0; lo < n; lo += b {
+		hi := lo + b
+		if hi > n {
+			hi = n
+		}
+		// Group this output block's atoms by source block.
+		bySource := make(map[int][]int)
+		for d := lo; d < hi; d++ {
+			src := source[d] / b
+			bySource[src] = append(bySource[src], source[d])
+		}
+		for _, src := range sortedKeys(bySource) {
+			p.Ops = append(p.Ops, Op{Kind: aem.OpRead, Addr: src, Atoms: bySource[src]})
+		}
+		outAtoms := make([]int, 0, hi-lo)
+		for d := lo; d < hi; d++ {
+			outAtoms = append(outAtoms, source[d])
+		}
+		p.Ops = append(p.Ops, Op{Kind: aem.OpWrite, Addr: inBlocks + lo/b, Atoms: outAtoms})
+	}
+	return p, nil
+}
+
+// ExpectedPlacement returns the placement FromPermutation's program ends
+// in: atom with destination d sits in block ⌈N/B⌉ + d/B.
+func ExpectedPlacement(cfg aem.Config, perm []int) Placement {
+	inBlocks := cfg.BlocksOf(len(perm))
+	pl := make(Placement, len(perm))
+	for i, d := range perm {
+		pl[i] = inBlocks + d/cfg.B
+	}
+	return pl
+}
+
+// Random generates a random valid program: it repeatedly reads random
+// non-empty blocks (taking random subsets, respecting the memory bound)
+// and writes random batches of in-memory atoms to fresh blocks, then
+// flushes everything left in memory. The resulting program computes *some*
+// placement; Run reports which. Random programs exercise the Lemma 4.1 and
+// Lemma 4.3 transformations far from the structured cases.
+func Random(rng *workload.RNG, cfg aem.Config, n, steps int) *Program {
+	p := &Program{N: n, Cfg: cfg}
+	if n == 0 {
+		return p
+	}
+	type blk struct {
+		addr  int
+		atoms []int
+	}
+	var disk []blk
+	for a := 0; a < n; a += cfg.B {
+		hi := a + cfg.B
+		if hi > n {
+			hi = n
+		}
+		atoms := make([]int, 0, hi-a)
+		for x := a; x < hi; x++ {
+			atoms = append(atoms, x)
+		}
+		disk = append(disk, blk{addr: a / cfg.B, atoms: atoms})
+	}
+	nextFresh := cfg.BlocksOf(n)
+	var mem []int
+
+	flushMem := func() {
+		for len(mem) > 0 {
+			take := cfg.B
+			if take > len(mem) {
+				take = len(mem)
+			}
+			p.Ops = append(p.Ops, Op{Kind: aem.OpWrite, Addr: nextFresh, Atoms: append([]int(nil), mem[:take]...)})
+			disk = append(disk, blk{addr: nextFresh, atoms: append([]int(nil), mem[:take]...)})
+			nextFresh++
+			mem = mem[take:]
+		}
+	}
+
+	for s := 0; s < steps; s++ {
+		if len(mem) > cfg.M-cfg.B || (len(mem) > 0 && rng.Intn(3) == 0) {
+			// Write a random batch of up to B atoms from memory.
+			take := 1 + rng.Intn(min(cfg.B, len(mem)))
+			batch := append([]int(nil), mem[:take]...)
+			p.Ops = append(p.Ops, Op{Kind: aem.OpWrite, Addr: nextFresh, Atoms: batch})
+			disk = append(disk, blk{addr: nextFresh, atoms: batch})
+			nextFresh++
+			mem = mem[take:]
+			continue
+		}
+		// Read a random subset of a random non-empty block.
+		idx := -1
+		for try := 0; try < 8; try++ {
+			c := rng.Intn(len(disk))
+			if len(disk[c].atoms) > 0 {
+				idx = c
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		atoms := disk[idx].atoms
+		take := 1 + rng.Intn(len(atoms))
+		if take > cfg.M-len(mem) {
+			take = cfg.M - len(mem)
+		}
+		if take <= 0 {
+			continue
+		}
+		// Take a random subset of size take.
+		perm := rng.Perm(len(atoms))
+		chosen := make([]int, take)
+		for i := 0; i < take; i++ {
+			chosen[i] = atoms[perm[i]]
+		}
+		sortInts(chosen)
+		p.Ops = append(p.Ops, Op{Kind: aem.OpRead, Addr: disk[idx].addr, Atoms: chosen})
+		mem = append(mem, chosen...)
+		// Build the remainder into a fresh slice: the old array may be
+		// aliased by a previously recorded write op's atom list.
+		remaining := make([]int, 0, len(atoms)-take)
+		inChosen := make(map[int]struct{}, take)
+		for _, a := range chosen {
+			inChosen[a] = struct{}{}
+		}
+		for _, a := range atoms {
+			if _, ok := inChosen[a]; !ok {
+				remaining = append(remaining, a)
+			}
+		}
+		disk[idx].atoms = remaining
+	}
+	flushMem()
+	return p
+}

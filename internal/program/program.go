@@ -1,0 +1,246 @@
+// Package program implements the paper's notion of a *program* (§2, §4.2):
+// a fixed, straight-line sequence of I/O operations over indivisible atoms,
+// as opposed to an algorithm, which branches on the input. The permuting
+// lower bounds of Section 4 are statements about programs, and the two
+// central constructions — the round-based conversion of Lemma 4.1 and the
+// flash-model simulation of Lemma 4.3 — are program transformations. This
+// package makes them executable and machine-checkable:
+//
+//   - Program is a first-class value: an op list over atoms 0..N−1 laid
+//     out in ⌈N/B⌉ initial blocks;
+//   - Run interprets a program under the movement rules of §4.2 (reading
+//     moves a chosen subset of a block's atoms into internal memory,
+//     destroying them on disk; writing moves atoms from memory into an
+//     empty block), validating memory capacity and atom conservation, and
+//     returns the final placement and cost;
+//   - ConvertToRoundBased implements Lemma 4.1;
+//   - CheckRoundBased validates the round-based structure a converted
+//     program claims.
+//
+// Program generators for tests and experiments live in generate.go.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aem"
+)
+
+// Op is one I/O operation of a program.
+//
+// For a read, Atoms is the subset of the block's atoms the program keeps
+// ("uses", in the paper's §4.1 terminology): they move into internal
+// memory and their copies in the block are destroyed. For a write, Atoms
+// (≤ B of them) move from internal memory into the destination block,
+// which must be empty.
+type Op struct {
+	Kind  aem.OpKind
+	Addr  int
+	Atoms []int
+}
+
+// Program is a straight-line AEM program over N indivisible atoms.
+// Initially atom a resides in block a/B (blocks 0..⌈N/B⌉−1); writes may
+// target any address, and fresh addresses are allocated on demand.
+type Program struct {
+	N   int
+	Cfg aem.Config
+	Ops []Op
+
+	// RoundMarks, if non-empty, are op indices at which rounds end
+	// (exclusive): round r spans Ops[RoundMarks[r-1]:RoundMarks[r]].
+	// The final mark must equal len(Ops). Internal memory must be empty
+	// at every mark. Programs without marks make no round-based claim.
+	RoundMarks []int
+}
+
+// InitialBlocks returns ⌈N/B⌉, the number of blocks the input occupies.
+func (p *Program) InitialBlocks() int { return p.Cfg.BlocksOf(p.N) }
+
+// Cost returns Q = Qr + ω·Qw of the program.
+func (p *Program) Cost() int64 {
+	var q int64
+	for _, op := range p.Ops {
+		if op.Kind == aem.OpRead {
+			q++
+		} else {
+			q += int64(p.Cfg.Omega)
+		}
+	}
+	return q
+}
+
+// Placement is the final disk state of a program: for each atom, the block
+// address where it ended up. Within-block order is deliberately not part
+// of a placement — the paper's counting argument (§4.2) normalizes it away
+// (the B! orders inside each block are counted once).
+type Placement map[int]int
+
+// Equal reports whether two placements put every atom in the same block.
+func (pl Placement) Equal(other Placement) bool {
+	if len(pl) != len(other) {
+		return false
+	}
+	for a, addr := range pl {
+		if other[a] != addr {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the outcome of interpreting a program.
+type Result struct {
+	Placement Placement
+	Stats     aem.Stats
+	// MaxMemory is the high-water mark of atoms simultaneously held in
+	// internal memory.
+	MaxMemory int
+}
+
+// Cost returns the interpreted cost, which always equals Program.Cost for
+// a program that ran successfully.
+func (r Result) Cost(omega int) int64 { return r.Stats.Cost(omega) }
+
+// RunOptions controls interpretation.
+type RunOptions struct {
+	// AllowResidentMemory permits the program to finish with atoms still
+	// in internal memory. Permuting programs must finish with everything
+	// on disk, so the default (false) rejects resident atoms.
+	AllowResidentMemory bool
+}
+
+// Run interprets the program under the §4.2 movement rules, validating
+// every step. It returns an error describing the first violated rule, if
+// any: reading atoms absent from a block, writing atoms not in memory,
+// writing to a non-empty block, overflowing internal memory, or finishing
+// with atoms in memory.
+func Run(p *Program, opts RunOptions) (Result, error) {
+	st := newState(p)
+	for i, op := range p.Ops {
+		if err := st.step(op); err != nil {
+			return Result{}, fmt.Errorf("program: op %d (%v %d): %w", i, op.Kind, op.Addr, err)
+		}
+	}
+	if !opts.AllowResidentMemory && len(st.mem) != 0 {
+		return Result{}, fmt.Errorf("program: %d atoms resident in memory at end", len(st.mem))
+	}
+	return Result{Placement: st.placement(), Stats: st.stats, MaxMemory: st.maxMem}, nil
+}
+
+// state is the interpreter state: block contents as atom sets, the memory
+// set, and accounting.
+type state struct {
+	p      *Program
+	blocks []map[int]struct{}
+	mem    map[int]struct{}
+	stats  aem.Stats
+	maxMem int
+}
+
+func newState(p *Program) *state {
+	st := &state{p: p, mem: make(map[int]struct{})}
+	n := p.InitialBlocks()
+	st.blocks = make([]map[int]struct{}, n)
+	for a := 0; a < p.N; a++ {
+		blk := a / p.Cfg.B
+		if st.blocks[blk] == nil {
+			st.blocks[blk] = make(map[int]struct{}, p.Cfg.B)
+		}
+		st.blocks[blk][a] = struct{}{}
+	}
+	return st
+}
+
+func (st *state) ensure(addr int) (map[int]struct{}, error) {
+	if addr < 0 {
+		return nil, fmt.Errorf("negative address")
+	}
+	for addr >= len(st.blocks) {
+		st.blocks = append(st.blocks, nil)
+	}
+	if st.blocks[addr] == nil {
+		st.blocks[addr] = make(map[int]struct{})
+	}
+	return st.blocks[addr], nil
+}
+
+func (st *state) step(op Op) error {
+	blk, err := st.ensure(op.Addr)
+	if err != nil {
+		return err
+	}
+	switch op.Kind {
+	case aem.OpRead:
+		st.stats.Reads++
+		for _, a := range op.Atoms {
+			if _, ok := blk[a]; !ok {
+				return fmt.Errorf("read takes atom %d not present in block", a)
+			}
+			delete(blk, a)
+			st.mem[a] = struct{}{}
+		}
+		if len(st.mem) > st.p.Cfg.M {
+			return fmt.Errorf("%w: %d atoms > M = %d", aem.ErrMemoryOverflow, len(st.mem), st.p.Cfg.M)
+		}
+		if len(st.mem) > st.maxMem {
+			st.maxMem = len(st.mem)
+		}
+	case aem.OpWrite:
+		st.stats.Writes++
+		if len(op.Atoms) > st.p.Cfg.B {
+			return fmt.Errorf("write of %d atoms exceeds block size B = %d", len(op.Atoms), st.p.Cfg.B)
+		}
+		if len(blk) != 0 {
+			return fmt.Errorf("write to non-empty block (%d atoms would be destroyed)", len(blk))
+		}
+		for _, a := range op.Atoms {
+			if _, ok := st.mem[a]; !ok {
+				return fmt.Errorf("write of atom %d not in memory", a)
+			}
+			delete(st.mem, a)
+			blk[a] = struct{}{}
+		}
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+func (st *state) placement() Placement {
+	pl := make(Placement, st.p.N)
+	for addr, blk := range st.blocks {
+		for a := range blk {
+			pl[a] = addr
+		}
+	}
+	return pl
+}
+
+// memEmptyPoints returns, for each op index i in 0..len(Ops), whether
+// internal memory is empty just before op i (index len(Ops) = at the end).
+// It re-runs the program, so it must only be called on valid programs.
+func memEmptyPoints(p *Program) []bool {
+	st := newState(p)
+	empty := make([]bool, len(p.Ops)+1)
+	empty[0] = true
+	for i, op := range p.Ops {
+		if err := st.step(op); err != nil {
+			panic(fmt.Sprintf("program: memEmptyPoints on invalid program: %v", err))
+		}
+		empty[i+1] = len(st.mem) == 0
+	}
+	return empty
+}
+
+// sortedAtoms returns the atoms of a set in increasing order (for
+// deterministic op construction).
+func sortedAtoms(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}

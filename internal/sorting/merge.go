@@ -1,0 +1,496 @@
+package sorting
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aem"
+)
+
+// MergeOptions configures MergeRuns.
+type MergeOptions struct {
+	// Reduce combines runs of equal Key in the output into a single item
+	// whose Aux is the sum of the group's Aux values (semiring addition).
+	// It is used by the sorting-based SpMxV algorithm of Section 5 to sum
+	// elementary products of the same output row while merging, which is
+	// what keeps the hierarchical vector addition at O(ω·h) total cost.
+	Reduce bool
+
+	// MaxBuffer, if positive, caps the round buffer below what the memory
+	// budget allows. It exists for the EXP-A1 ablation: the §3 algorithm
+	// outputs ~M items per round, and shrinking the buffer multiplies the
+	// round count (and with it the fixed 2ωm initialization reads per
+	// round), which is exactly the design choice the paper's round
+	// structure optimizes. Zero means "use all available memory".
+	MaxBuffer int
+}
+
+// mergeEntry is an item held in the round buffer together with its
+// provenance: which run it came from and its global index within that run.
+// The provenance is what lets the algorithm advance the external block
+// pointers b[i] without per-run counters in internal memory (which would
+// not fit when the number of runs ωm exceeds M).
+type mergeEntry struct {
+	it  aem.Item
+	run int32
+	idx int64
+}
+
+// entrySlots is the internal-memory charge of one mergeEntry, in item
+// slots: the item itself plus one slot for the two provenance words. The
+// paper's §3.1 reserves "a constant number of additional words of
+// auxiliary data with each element" exactly for this.
+const entrySlots = 2
+
+// entryLess is the strict total order the merge works in: items compare
+// by (Key, Aux) first, with (run, idx) as tiebreakers. The tiebreakers
+// matter when inputs contain exact duplicates (equal Key and Aux), as the
+// elementary products of SpMxV routinely do: every entry instance is still
+// strictly ordered, so the consumption watermark never conflates two
+// copies.
+func entryLess(a, b mergeEntry) bool {
+	if c := aem.Compare(a.it, b.it); c != 0 {
+		return c < 0
+	}
+	if a.run != b.run {
+		return a.run < b.run
+	}
+	return a.idx < b.idx
+}
+
+// activeRun is the in-memory state kept for an active run during one
+// round's merge loop (Lemma 3.1 bounds how many exist).
+type activeRun struct {
+	run  int        // run index
+	next int        // next block (within the run) to load
+	s    mergeEntry // largest entry loaded from the run this round
+}
+
+// activeSlots is the internal-memory charge of one activeRun entry.
+const activeSlots = 2
+
+// pointerStore abstracts where the per-run next-block pointers b[i] live.
+// The paper's contribution is the external store: it works for every ω.
+// The in-memory store reproduces the earlier approach of [7] which
+// requires the pointers to fit in internal memory (ω ≲ B).
+type pointerStore interface {
+	// forEach calls fn for every run in index order with its current
+	// block pointer, paying whatever I/O the store needs.
+	forEach(fn func(run, bptr int))
+	// update applies new block pointers for the given runs, paying
+	// whatever I/O the store needs. changes is sorted by run index.
+	update(changes []ptrChange)
+	// close releases the store's internal memory.
+	close()
+}
+
+type ptrChange struct {
+	run  int
+	bptr int
+}
+
+// externalPointers keeps b[i] in ⌈K/B⌉ blocks of external memory,
+// following §3.1: each pointer is updated on disk only when it changes,
+// i.e. at most once per consumed block of its run, for O(n) pointer writes
+// across the whole merge.
+type externalPointers struct {
+	pv *aem.Vector
+}
+
+func newExternalPointers(ma *aem.Machine, k int) *externalPointers {
+	pv := aem.NewVector(ma, k)
+	w := pv.NewWriter()
+	for i := 0; i < k; i++ {
+		w.Append(aem.Item{Key: 0, Aux: int64(i)})
+	}
+	w.Close()
+	return &externalPointers{pv: pv}
+}
+
+func (e *externalPointers) forEach(fn func(run, bptr int)) {
+	ma := e.pv.Machine()
+	b := ma.Config().B
+	for blk := 0; blk < e.pv.Blocks(); blk++ {
+		// Only the pointer-block I/O itself is labeled "pointers"; the
+		// callback's data I/O keeps the caller's phase.
+		prev := ma.SetPhase("pointers")
+		entries, first := e.pv.ReadBlock(blk * b)
+		ma.SetPhase(prev)
+		for off, ent := range entries {
+			fn(first+off, int(ent.Key))
+		}
+	}
+}
+
+func (e *externalPointers) update(changes []ptrChange) {
+	defer e.pv.Machine().SetPhase(e.pv.Machine().SetPhase("pointers"))
+	b := e.pv.Machine().Config().B
+	for i := 0; i < len(changes); {
+		blk := changes[i].run / b
+		entries, first := e.pv.ReadBlock(blk * b)
+		dirty := false
+		for ; i < len(changes) && changes[i].run/b == blk; i++ {
+			ent := &entries[changes[i].run-first]
+			if int(ent.Key) != changes[i].bptr {
+				ent.Key = int64(changes[i].bptr)
+				dirty = true
+			}
+		}
+		if dirty {
+			e.pv.Machine().Write(e.pv.BlockAddr(blk*b), entries)
+		}
+	}
+}
+
+func (e *externalPointers) close() {}
+
+// inMemoryPointers keeps b[i] in internal memory, reserving one slot per
+// run. Constructing it on a machine where the K pointers do not fit
+// panics with a memory overflow — deliberately so: this is the assumption
+// (ω < B, hence ωm < M) that the paper's external store removes.
+type inMemoryPointers struct {
+	ma   *aem.Machine
+	bptr []int
+}
+
+func newInMemoryPointers(ma *aem.Machine, k int) *inMemoryPointers {
+	ma.Reserve(k) // panics if the pointers do not fit — the point of the baseline
+	return &inMemoryPointers{ma: ma, bptr: make([]int, k)}
+}
+
+func (p *inMemoryPointers) forEach(fn func(run, bptr int)) {
+	for i, b := range p.bptr {
+		fn(i, b)
+	}
+}
+
+func (p *inMemoryPointers) update(changes []ptrChange) {
+	for _, c := range changes {
+		p.bptr[c.run] = c.bptr
+	}
+}
+
+func (p *inMemoryPointers) close() { p.ma.Release(len(p.bptr)) }
+
+// MergeRuns merges the given sorted runs into a single sorted output
+// vector using the round-based ωm-way merge of Section 3 with the
+// next-block pointers maintained in external memory. For K ≤ ωm runs
+// totalling N items it performs O(ω·(n+m)) read and O(n+m) write I/Os
+// (Theorem 3.2) for any ω, including ω > B.
+//
+// Every run must be ascending in the (Key, Aux) order. The inputs are not
+// modified. MergeRuns requires M ≥ 8B.
+func MergeRuns(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions) *aem.Vector {
+	return mergeRuns(ma, runs, opts, true)
+}
+
+// MergeAll merges any number of sorted runs by repeated ωm-way MergeRuns
+// passes (one multiway level per pass), the hierarchical merging used by
+// the sorting-based SpMxV algorithm when the number of runs exceeds the
+// merge fanout. With the Reduce option, duplicate keys combine at every
+// level, which is what keeps the Section 5 vector additions at O(ω·h)
+// total cost: the data volume shrinks geometrically up the merge tree.
+func MergeAll(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions) *aem.Vector {
+	if len(runs) == 0 {
+		return aem.NewVector(ma, 0)
+	}
+	if len(runs) == 1 && opts.Reduce {
+		// A single run still needs its duplicate keys combined; a plain
+		// pass through MergeRuns performs the reduction.
+		return MergeRuns(ma, runs, opts)
+	}
+	fanout := ma.Config().MergeFanout()
+	if fanout < 2 {
+		fanout = 2
+	}
+	for len(runs) > 1 {
+		next := make([]*aem.Vector, 0, (len(runs)+fanout-1)/fanout)
+		for lo := 0; lo < len(runs); lo += fanout {
+			hi := lo + fanout
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			next = append(next, MergeRuns(ma, runs[lo:hi], opts))
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// MergeRunsInMemoryPointers is the merge in the style of the earlier AEM
+// mergesort of Blelloch et al. [7]: identical round structure, but the
+// per-run pointers are held in internal memory. It panics with a memory
+// overflow when the pointers do not fit (K > free memory), which is
+// exactly the ω < B assumption the paper removes. It exists as a baseline
+// for the EXP-S2 experiment.
+func MergeRunsInMemoryPointers(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions) *aem.Vector {
+	return mergeRuns(ma, runs, opts, false)
+}
+
+func mergeRuns(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions, externalPtrs bool) *aem.Vector {
+	cfg := ma.Config()
+	b := cfg.B
+	if cfg.M < 8*b {
+		panic(fmt.Sprintf("sorting: MergeRuns needs M ≥ 8B, got M=%d B=%d", cfg.M, b))
+	}
+
+	defer ma.SetPhase(ma.SetPhase("merge"))
+
+	total := 0
+	for _, r := range runs {
+		total += r.Len()
+	}
+	out := aem.NewVector(ma, total)
+	if total == 0 {
+		return out
+	}
+
+	// The pointer store comes first: the [7]-style in-memory table
+	// reserves one slot per run and is *meant* to die with a memory
+	// overflow when the ωm fanout exceeds internal memory — that is the
+	// assumption the paper's external store removes.
+	ptrs := pointerStore(nil)
+	if externalPtrs {
+		ptrs = newExternalPointers(ma, len(runs))
+	} else {
+		ptrs = newInMemoryPointers(ma, len(runs))
+	}
+	defer ptrs.close()
+
+	// Round-buffer capacity: solve the remaining memory budget
+	//   entrySlots·capM (buffer) + activeSlots·(capM/B+2) (active list)
+	//   + 2B (pointer + data frames) + B (writer) ≤ free
+	// for capM. The paper takes "M a constant fraction of internal
+	// memory" (§3.1); this is that fraction made explicit.
+	free := cfg.M - ma.MemInUse()
+	capM := (free - 3*b - 2*activeSlots) * b / (entrySlots*b + activeSlots)
+	if opts.MaxBuffer > 0 && capM > opts.MaxBuffer {
+		capM = opts.MaxBuffer
+	}
+	if capM < b {
+		panic(fmt.Sprintf("sorting: M=%d too small for B=%d", cfg.M, b))
+	}
+	mbufRes := entrySlots * capM
+	activeRes := activeSlots * (capM/b + 2)
+	frameRes := 2 * b
+	ma.Reserve(mbufRes + activeRes + frameRes)
+	defer ma.Release(mbufRes + activeRes + frameRes)
+
+	w := out.NewWriter()
+	red := newReducer(w, opts.Reduce)
+
+	// Watermark: every entry instance ≤ mu (in entryLess order) has been
+	// output.
+	mu := mergeEntry{it: minItem, run: -1, idx: -1}
+	mbuf := make([]mergeEntry, 0, capM)
+	scratch := make([]mergeEntry, 0, capM)
+	active := make([]activeRun, 0, capM/b+2)
+	maxActive := capM/b + 1 // Lemma 3.1: at most ⌈capM/B⌉ runs stay active
+
+	runBlocks := func(r int) int { return cfg.BlocksOf(runs[r].Len()) }
+
+	// loadBlock reads block bi of run r and merges its entries > mu into
+	// mbuf (capped at capM, largest evicted), returning the block's last
+	// entry and whether the block existed.
+	loadBlock := func(r, bi int) (last mergeEntry, ok bool) {
+		if bi >= runBlocks(r) {
+			return mergeEntry{}, false
+		}
+		items, first := runs[r].ReadBlock(bi * b)
+		scratch = scratch[:0]
+		for off, it := range items {
+			e := mergeEntry{it: it, run: int32(r), idx: int64(first + off)}
+			if entryLess(mu, e) {
+				scratch = append(scratch, e)
+			}
+		}
+		mbuf = mergeEntries(mbuf, scratch, capM)
+		return mergeEntry{it: items[len(items)-1], run: int32(r), idx: int64(first + len(items) - 1)}, true
+	}
+
+	for {
+		// Pass A (§3.1 "Initializing M"): read up to two blocks from
+		// every run starting at b[i]; candidates (> mu) accumulate in the
+		// round buffer, which retains the capM smallest.
+		mbuf = mbuf[:0]
+		ptrs.forEach(func(run, bptr int) {
+			if _, ok := loadBlock(run, bptr); ok {
+				loadBlock(run, bptr+1)
+			}
+		})
+		if len(mbuf) == 0 {
+			break // every run fully consumed
+		}
+
+		// Pass B (§3.1 "Identifying active arrays"): re-read the second
+		// initialization block of each run to find the largest loaded
+		// element; a run is active iff more blocks follow and that element
+		// is among the capM smallest loaded so far.
+		active = active[:0]
+		full := len(mbuf) == capM
+		bufMax := mbuf[len(mbuf)-1]
+		ptrs.forEach(func(run, bptr int) {
+			if bptr+2 >= runBlocks(run) {
+				return // no blocks beyond the initialization reads
+			}
+			items, first := runs[run].ReadBlock((bptr + 1) * b)
+			last := mergeEntry{it: items[len(items)-1], run: int32(run), idx: int64(first + len(items) - 1)}
+			if full && entryLess(bufMax, last) {
+				return // inactive: everything unread is above the buffer
+			}
+			active = append(active, activeRun{run: run, next: bptr + 2, s: last})
+			if len(active) > maxActive {
+				panic(fmt.Sprintf("sorting: Lemma 3.1 violated: %d active runs > %d", len(active), maxActive))
+			}
+		})
+
+		// Merge loop (§3.1 "Merging from active arrays"): repeatedly load
+		// the next block of the active run whose largest loaded element is
+		// smallest, until every active run's frontier exceeds the buffer.
+		for len(active) > 0 {
+			j := 0
+			for i := 1; i < len(active); i++ {
+				if entryLess(active[i].s, active[j].s) {
+					j = i
+				}
+			}
+			if len(mbuf) == capM && entryLess(mbuf[len(mbuf)-1], active[j].s) {
+				break // the smallest frontier is above the buffer: round over
+			}
+			last, _ := loadBlock(active[j].run, active[j].next)
+			active[j].next++
+			active[j].s = last
+			if active[j].next >= runBlocks(active[j].run) ||
+				(len(mbuf) == capM && entryLess(mbuf[len(mbuf)-1], last)) {
+				active[j] = active[len(active)-1]
+				active = active[:len(active)-1]
+			}
+		}
+
+		// Output the round: the buffer now holds the capM smallest
+		// unconsumed entries overall, in sorted order.
+		mu = mbuf[len(mbuf)-1]
+		for _, e := range mbuf {
+			red.emit(e.it)
+		}
+
+		// Advance the external pointers: for each contributing run the new
+		// b[i] is the block of its first unconsumed item. Group updates by
+		// run via an in-place re-sort of the round buffer (free internal
+		// computation, no extra memory).
+		sort.Slice(mbuf, func(x, y int) bool {
+			if mbuf[x].run != mbuf[y].run {
+				return mbuf[x].run < mbuf[y].run
+			}
+			return mbuf[x].idx < mbuf[y].idx
+		})
+		changes := changesFromBuffer(mbuf, b)
+		ptrs.update(changes)
+	}
+
+	n := red.close()
+	if !opts.Reduce && n != total {
+		panic(fmt.Sprintf("sorting: merge produced %d of %d items", n, total))
+	}
+	if opts.Reduce {
+		out = out.Shrink(n)
+	}
+	return out
+}
+
+// changesFromBuffer extracts, from a round buffer sorted by (run, idx),
+// the new block pointer for each contributing run: the block containing
+// the item after the run's largest consumed index.
+func changesFromBuffer(mbuf []mergeEntry, b int) []ptrChange {
+	var changes []ptrChange
+	for i := 0; i < len(mbuf); {
+		run := mbuf[i].run
+		maxIdx := mbuf[i].idx
+		for ; i < len(mbuf) && mbuf[i].run == run; i++ {
+			if mbuf[i].idx > maxIdx {
+				maxIdx = mbuf[i].idx
+			}
+		}
+		changes = append(changes, ptrChange{run: int(run), bptr: int(maxIdx+1) / b})
+	}
+	return changes
+}
+
+// mergeEntries merges two ascending entry slices into one, retaining at
+// most capacity entries (the largest are dropped — they remain unconsumed
+// on disk and will be re-read in a later round, which is the re-read the
+// paper charges one block per run per round for).
+func mergeEntries(a, cand []mergeEntry, capacity int) []mergeEntry {
+	if len(cand) == 0 {
+		return a
+	}
+	if len(a) == capacity && !entryLess(cand[0], a[len(a)-1]) {
+		return a // every candidate is above the full buffer
+	}
+	merged := make([]mergeEntry, 0, min(len(a)+len(cand), capacity))
+	i, j := 0, 0
+	for len(merged) < capacity && (i < len(a) || j < len(cand)) {
+		if j >= len(cand) || (i < len(a) && entryLess(a[i], cand[j])) {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, cand[j])
+			j++
+		}
+	}
+	return merged
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// reducer streams items to a writer, optionally combining consecutive
+// equal-Key items by summing their Aux values. Combining is valid because
+// the merge emits items in ascending Key order, so equal keys are
+// adjacent.
+type reducer struct {
+	w       *aem.Writer
+	reduce  bool
+	pending aem.Item
+	have    bool
+	count   int
+}
+
+func newReducer(w *aem.Writer, reduce bool) *reducer {
+	return &reducer{w: w, reduce: reduce}
+}
+
+func (r *reducer) emit(it aem.Item) {
+	if !r.reduce {
+		r.w.Append(it)
+		r.count++
+		return
+	}
+	if r.have && r.pending.Key == it.Key {
+		r.pending.Aux += it.Aux
+		return
+	}
+	if r.have {
+		r.w.Append(r.pending)
+		r.count++
+	}
+	r.pending = it
+	r.have = true
+}
+
+func (r *reducer) close() int {
+	if r.reduce {
+		if r.have {
+			r.w.Append(r.pending)
+			r.count++
+		}
+		r.w.CloseShort()
+		return r.count
+	}
+	r.w.Close()
+	return r.count
+}

@@ -1,0 +1,274 @@
+package spmxv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/workload"
+)
+
+// makeInstance builds a random conformation, values and x vector.
+func makeInstance(seed uint64, n, delta int) (*workload.Conformation, []int64, []int64) {
+	rng := workload.NewRNG(seed)
+	conf := workload.NewConformation(rng, n, delta)
+	values := make([]int64, conf.H())
+	for i := range values {
+		values[i] = int64(rng.Intn(100) - 50)
+	}
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = int64(rng.Intn(100) - 50)
+	}
+	return conf, values, x
+}
+
+func TestNaiveCorrectness(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 4, Omega: 4}
+	for _, n := range []int{4, 16, 64, 100} {
+		for _, delta := range []int{1, 2, 4} {
+			if delta > n {
+				continue
+			}
+			ma := aem.New(cfg)
+			conf, values, x := makeInstance(uint64(n*10+delta), n, delta)
+			m := NewMatrix(ma, conf, values)
+			y := Naive(ma, m, LoadDense(ma, x))
+			if err := VerifyProduct(conf, values, x, y); err != nil {
+				t.Fatalf("n=%d δ=%d: %v", n, delta, err)
+			}
+			if ma.MemInUse() != 0 {
+				t.Fatalf("n=%d δ=%d: leaked %d slots", n, delta, ma.MemInUse())
+			}
+		}
+	}
+}
+
+func TestSortBasedCorrectness(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 4, Omega: 4}
+	// Cover δ < B, δ = B and δ > B: the three base-run regimes.
+	for _, tc := range []struct{ n, delta int }{
+		{64, 1}, {64, 2}, {64, 4}, {64, 8}, {100, 3}, {32, 16},
+	} {
+		ma := aem.New(cfg)
+		conf, values, x := makeInstance(uint64(tc.n*100+tc.delta), tc.n, tc.delta)
+		m := NewMatrix(ma, conf, values)
+		y := SortBased(ma, m, LoadDense(ma, x))
+		if err := VerifyProduct(conf, values, x, y); err != nil {
+			t.Fatalf("n=%d δ=%d: %v", tc.n, tc.delta, err)
+		}
+		if ma.MemInUse() != 0 {
+			t.Fatalf("n=%d δ=%d: leaked %d slots", tc.n, tc.delta, ma.MemInUse())
+		}
+	}
+}
+
+func TestBandedConformation(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 8, Omega: 4}
+	conf := workload.BandedConformation(128, 4)
+	rng := workload.NewRNG(5)
+	values := make([]int64, conf.H())
+	for i := range values {
+		values[i] = int64(rng.Intn(10))
+	}
+	x := make([]int64, 128)
+	for i := range x {
+		x[i] = int64(rng.Intn(10))
+	}
+	for name, f := range map[string]func(*aem.Machine, *Matrix, *aem.Vector) *aem.Vector{
+		"naive": Naive,
+		"sort":  SortBased,
+	} {
+		ma := aem.New(cfg)
+		m := NewMatrix(ma, conf, values)
+		y := f(ma, m, LoadDense(ma, x))
+		if err := VerifyProduct(conf, values, x, y); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNaiveCostBound(t *testing.T) {
+	// O(H + ωn): reads at most 2H + n (entry stream + x stream), writes
+	// exactly n.
+	cfg := aem.Config{M: 64, B: 8, Omega: 4}
+	const n, delta = 512, 4
+	ma := aem.New(cfg)
+	conf, values, x := makeInstance(42, n, delta)
+	m := NewMatrix(ma, conf, values)
+	Naive(ma, m, LoadDense(ma, x))
+	st := ma.Stats()
+	h := int64(conf.H())
+	nb := int64(cfg.BlocksOf(n))
+	if st.Reads > 2*h+nb {
+		t.Errorf("reads = %d > 2H + n = %d", st.Reads, 2*h+nb)
+	}
+	if st.Writes != nb {
+		t.Errorf("writes = %d, want n = %d", st.Writes, nb)
+	}
+}
+
+func TestNaiveCheapOnBanded(t *testing.T) {
+	// A banded matrix in column-major order is read almost sequentially by
+	// the row-by-row program, so the block caches make it far cheaper than
+	// the worst case H: reads should be O(h + n), not O(H).
+	cfg := aem.Config{M: 64, B: 8, Omega: 4}
+	conf := workload.BandedConformation(512, 4)
+	values := make([]int64, conf.H())
+	x := make([]int64, 512)
+	ma := aem.New(cfg)
+	m := NewMatrix(ma, conf, values)
+	Naive(ma, m, LoadDense(ma, x))
+	hBlocks := int64(cfg.BlocksOf(conf.H()))
+	nBlocks := int64(cfg.BlocksOf(512))
+	if st := ma.Stats(); st.Reads > 4*(hBlocks+nBlocks) {
+		t.Errorf("banded reads = %d, want ≤ 4(h+n) = %d", st.Reads, 4*(hBlocks+nBlocks))
+	}
+}
+
+func TestSortBasedCostTracksPrediction(t *testing.T) {
+	// Measured cost within a constant factor of the predicted
+	// O(ω·h·log_{ωm} N/max{δ,B} + ω·n), both directions.
+	for _, delta := range []int{2, 8} {
+		cfg := aem.Config{M: 128, B: 8, Omega: 4}
+		const n = 1 << 11
+		ma := aem.New(cfg)
+		conf, values, x := makeInstance(uint64(delta), n, delta)
+		m := NewMatrix(ma, conf, values)
+		SortBased(ma, m, LoadDense(ma, x))
+		p := bounds.SpMxVParams{Params: bounds.Params{N: n, Cfg: cfg}, Delta: delta}
+		pred := bounds.SpMxVSortPredicted(p).Cost(cfg.Omega)
+		ratio := float64(ma.Cost()) / pred
+		if ratio < 0.05 || ratio > 20 {
+			t.Errorf("δ=%d: measured/predicted = %.2f outside constant band", delta, ratio)
+		}
+	}
+}
+
+func TestBestPicksCheaperStrategy(t *testing.T) {
+	// Huge ω: H + ωn beats ω·h·log…, so naive must win. Small ω with
+	// large log factor: sort must win.
+	naiveCfg := aem.Config{M: 64, B: 4, Omega: 512}
+	ma := aem.New(naiveCfg)
+	conf, values, x := makeInstance(1, 256, 2)
+	m := NewMatrix(ma, conf, values)
+	y, strat := Best(ma, m, LoadDense(ma, x))
+	if strat != StrategyNaive {
+		t.Errorf("ω=512: Best chose %v, want naive", strat)
+	}
+	if err := VerifyProduct(conf, values, x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	sortCfg := aem.Config{M: 256, B: 32, Omega: 1}
+	ma2 := aem.New(sortCfg)
+	conf2, values2, x2 := makeInstance(2, 1<<12, 2)
+	m2 := NewMatrix(ma2, conf2, values2)
+	y2, strat2 := Best(ma2, m2, LoadDense(ma2, x2))
+	if strat2 != StrategySort {
+		t.Errorf("ω=1, B=32: Best chose %v, want sort", strat2)
+	}
+	if err := VerifyProduct(conf2, values2, x2, y2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasuredCostRespectsLowerBound(t *testing.T) {
+	// Theorem 5.1's shape: measured cost of both algorithms at least the
+	// closed-form lower bound value (constants suppressed in Ω, so we
+	// only require measured ≥ bound/8 — and we separately require the
+	// *upper* bound to stay within a constant of it, which together pin
+	// the shape).
+	cfg := aem.Config{M: 128, B: 8, Omega: 4}
+	const n, delta = 1 << 11, 4
+	ma := aem.New(cfg)
+	conf, values, x := makeInstance(3, n, delta)
+	m := NewMatrix(ma, conf, values)
+	_, _ = Best(ma, m, LoadDense(ma, x))
+	lb := bounds.SpMxVLowerBoundClosed(bounds.SpMxVParams{Params: bounds.Params{N: n, Cfg: cfg}, Delta: delta})
+	if cost := float64(ma.Cost()); cost < lb/8 {
+		t.Errorf("measured cost %v below lower bound %v/8", cost, lb)
+	}
+}
+
+func TestSpMxVQuick(t *testing.T) {
+	f := func(seed uint64, nSel, dSel, algSel uint8) bool {
+		n := 8 + int(nSel%120)
+		delta := 1 + int(dSel)%min(n, 10)
+		cfg := aem.Config{M: 64, B: 4, Omega: 2}
+		ma := aem.New(cfg)
+		conf, values, x := makeInstance(seed, n, delta)
+		m := NewMatrix(ma, conf, values)
+		var y *aem.Vector
+		if algSel%2 == 0 {
+			y = Naive(ma, m, LoadDense(ma, x))
+		} else {
+			y = SortBased(ma, m, LoadDense(ma, x))
+		}
+		return VerifyProduct(conf, values, x, y) == nil && ma.MemInUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllOnesVector(t *testing.T) {
+	// The lower bound's canonical task: multiplying by the all-ones
+	// vector, i.e. computing each row's sum.
+	cfg := aem.Config{M: 64, B: 4, Omega: 2}
+	ma := aem.New(cfg)
+	conf, values, _ := makeInstance(9, 128, 3)
+	ones := make([]int64, 128)
+	for i := range ones {
+		ones[i] = 1
+	}
+	m := NewMatrix(ma, conf, values)
+	y := SortBased(ma, m, LoadDense(ma, ones))
+	if err := VerifyProduct(conf, values, ones, y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFullyDenseMatrix(t *testing.T) {
+	// δ = N: every entry present — the densest conformation the model
+	// admits, exercising the δ ≥ B per-column path with maximal runs.
+	cfg := aem.Config{M: 128, B: 8, Omega: 2}
+	const n = 32
+	ma := aem.New(cfg)
+	conf, values, x := makeInstance(31, n, n)
+	m := NewMatrix(ma, conf, values)
+	y := SortBased(ma, m, LoadDense(ma, x))
+	if err := VerifyProduct(conf, values, x, y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnalignedDimension(t *testing.T) {
+	// N not a multiple of B: partial blocks everywhere (entries, x, y).
+	cfg := aem.Config{M: 64, B: 8, Omega: 4}
+	for _, n := range []int{7, 9, 100, 129} {
+		for _, delta := range []int{1, 3} {
+			ma := aem.New(cfg)
+			conf, values, x := makeInstance(uint64(n), n, delta)
+			m := NewMatrix(ma, conf, values)
+			y := SortBased(ma, m, LoadDense(ma, x))
+			if err := VerifyProduct(conf, values, x, y); err != nil {
+				t.Fatalf("n=%d δ=%d: %v", n, delta, err)
+			}
+			ma2 := aem.New(cfg)
+			m2 := NewMatrix(ma2, conf, values)
+			y2 := Naive(ma2, m2, LoadDense(ma2, x))
+			if err := VerifyProduct(conf, values, x, y2); err != nil {
+				t.Fatalf("naive n=%d δ=%d: %v", n, delta, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aem"
+	"repro/internal/sorting"
+	"repro/internal/spmxv"
+	"repro/internal/workload"
+)
+
+func record(t *testing.T, cfg aem.Config, run func(*aem.Machine)) []aem.TraceOp {
+	t.Helper()
+	ma := aem.New(cfg)
+	ma.StartTrace()
+	run(ma)
+	return ma.StopTrace()
+}
+
+func TestDecomposeBudgets(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 8, Omega: 4}
+	ops := record(t, cfg, func(ma *aem.Machine) {
+		in := workload.Keys(workload.NewRNG(1), workload.Random, 2048)
+		sorting.MergeSort(ma, aem.Load(ma, in))
+	})
+	rounds := Decompose(ops, cfg)
+	if len(rounds) < 2 {
+		t.Fatalf("only %d rounds for a %d-op trace", len(rounds), len(ops))
+	}
+	if err := CheckDecomposition(rounds, ops, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The rounds' stats must add up to the trace totals.
+	var total aem.Stats
+	for _, r := range rounds {
+		total = total.Add(r.Stats)
+	}
+	var want aem.Stats
+	for _, op := range ops {
+		if op.Kind == aem.OpRead {
+			want.Reads++
+		} else {
+			want.Writes++
+		}
+	}
+	if total != want {
+		t.Errorf("round stats %+v != trace stats %+v", total, want)
+	}
+}
+
+func TestDecomposeEmptyTrace(t *testing.T) {
+	rounds := Decompose(nil, aem.Config{M: 16, B: 4, Omega: 2})
+	if len(rounds) != 1 || rounds[0].Start != 0 || rounds[0].End != 0 {
+		t.Errorf("empty trace rounds = %+v", rounds)
+	}
+}
+
+func TestConvertFactorOnRealAlgorithms(t *testing.T) {
+	// Lemma 4.1 measured on actual executions: the conversion factor must
+	// stay within the 3×Q + O(ωm) budget for the §3 mergesort, the EM
+	// mergesort and the SpMxV algorithms.
+	cfg := aem.Config{M: 64, B: 8, Omega: 8}
+	cases := map[string]func(*aem.Machine){
+		"mergesort": func(ma *aem.Machine) {
+			in := workload.Keys(workload.NewRNG(2), workload.Random, 4096)
+			sorting.MergeSort(ma, aem.Load(ma, in))
+		},
+		"emsort": func(ma *aem.Machine) {
+			in := workload.Keys(workload.NewRNG(3), workload.Random, 4096)
+			sorting.EMMergeSort(ma, aem.Load(ma, in))
+		},
+		"spmxv-sort": func(ma *aem.Machine) {
+			conf := workload.NewConformation(workload.NewRNG(4), 512, 4)
+			vals := make([]int64, conf.H())
+			x := make([]int64, 512)
+			m := spmxv.NewMatrix(ma, conf, vals)
+			spmxv.SortBased(ma, m, spmxv.LoadDense(ma, x))
+		},
+	}
+	for name, run := range cases {
+		ops := record(t, cfg, run)
+		conv := Convert(ops, cfg)
+		budget := 3*conv.Original + 4*int64(cfg.Omega)*int64(cfg.BlocksInMemory())
+		if conv.Converted > budget {
+			t.Errorf("%s: converted cost %d > 3×%d + 4ωm", name, conv.Converted, conv.Original)
+		}
+		if conv.Rounds < 1 {
+			t.Errorf("%s: %d rounds", name, conv.Rounds)
+		}
+		if conv.Factor() < 0.5 {
+			t.Errorf("%s: factor %.2f suspiciously low", name, conv.Factor())
+		}
+	}
+}
+
+func TestConvertSavesRereads(t *testing.T) {
+	// A trace that writes a block and immediately re-reads it within the
+	// same round must have the re-read served from the buffer.
+	cfg := aem.Config{M: 64, B: 8, Omega: 2}
+	ops := []aem.TraceOp{
+		{Kind: aem.OpWrite, Addr: 5},
+		{Kind: aem.OpRead, Addr: 5},
+		{Kind: aem.OpRead, Addr: 6},
+	}
+	conv := Convert(ops, cfg)
+	if conv.SavedReads != 1 {
+		t.Errorf("SavedReads = %d, want 1", conv.SavedReads)
+	}
+	// Original: 2 reads + 1 write = 2 + 2 = 4.
+	if conv.Original != 4 {
+		t.Errorf("Original = %d, want 4", conv.Original)
+	}
+	// Converted single round: 1 read (addr 6) + 1 flushed write, no
+	// snapshot: 1 + 2 = 3 — cheaper than the original here.
+	if conv.Converted != 3 {
+		t.Errorf("Converted = %d, want 3", conv.Converted)
+	}
+}
+
+func TestConvertEmptyTrace(t *testing.T) {
+	conv := Convert(nil, aem.Config{M: 16, B: 4, Omega: 2})
+	if conv.Original != 0 || conv.Rounds != 1 || conv.Factor() != 1 {
+		t.Errorf("empty conversion = %+v", conv)
+	}
+}
+
+func TestDecomposeQuick(t *testing.T) {
+	// Property: any op sequence decomposes into rounds that partition it
+	// and respect the budget.
+	f := func(kinds []bool, mSel, bSel, wSel uint8) bool {
+		b := 1 + int(bSel%8)
+		cfg := aem.Config{M: 2*b + int(mSel), B: b, Omega: 1 + int(wSel%16)}
+		ops := make([]aem.TraceOp, len(kinds))
+		for i, isWrite := range kinds {
+			if isWrite {
+				ops[i] = aem.TraceOp{Kind: aem.OpWrite, Addr: aem.Addr(i)}
+			} else {
+				ops[i] = aem.TraceOp{Kind: aem.OpRead, Addr: aem.Addr(i)}
+			}
+		}
+		rounds := Decompose(ops, cfg)
+		return CheckDecomposition(rounds, ops, cfg) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvertQuickBudget(t *testing.T) {
+	// Property: the conversion factor respects 3×Q + 4ωm on any trace.
+	f := func(kinds []bool, wSel uint8) bool {
+		cfg := aem.Config{M: 32, B: 4, Omega: 1 + int(wSel%16)}
+		ops := make([]aem.TraceOp, len(kinds))
+		for i, isWrite := range kinds {
+			kind := aem.OpRead
+			if isWrite {
+				kind = aem.OpWrite
+			}
+			ops[i] = aem.TraceOp{Kind: kind, Addr: aem.Addr(i % 7)}
+		}
+		conv := Convert(ops, cfg)
+		budget := 3*conv.Original + 4*int64(cfg.Omega)*int64(cfg.BlocksInMemory())
+		return conv.Converted <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+)
+
+// KeyDist selects the key distribution of a generated sorting input.
+type KeyDist int
+
+const (
+	// Random draws keys uniformly at random (worst case for sorting lower
+	// bounds with high probability).
+	Random KeyDist = iota
+	// Sorted produces an already-sorted input (best case; exposes whether
+	// an algorithm exploits presortedness — the AEM mergesort does not).
+	Sorted
+	// Reversed produces a strictly decreasing input.
+	Reversed
+	// FewDistinct draws keys from a domain of 16 values, exercising the
+	// duplicate-handling paths of every comparator.
+	FewDistinct
+	// NearlySorted produces a sorted input with 5% of positions perturbed
+	// by local swaps.
+	NearlySorted
+)
+
+// String names the distribution for experiment tables.
+func (d KeyDist) String() string {
+	switch d {
+	case Random:
+		return "random"
+	case Sorted:
+		return "sorted"
+	case Reversed:
+		return "reversed"
+	case FewDistinct:
+		return "fewdistinct"
+	case NearlySorted:
+		return "nearlysorted"
+	}
+	return fmt.Sprintf("KeyDist(%d)", int(d))
+}
+
+// Dists lists every distribution, for table-driven tests and sweeps.
+func Dists() []KeyDist {
+	return []KeyDist{Random, Sorted, Reversed, FewDistinct, NearlySorted}
+}
+
+// Keys generates n sort keys from the distribution. Aux fields are set to
+// the original index, which (a) makes every item distinct so total-order
+// comparisons are unambiguous, and (b) lets tests verify stability-like
+// properties and permutation correctness.
+func Keys(r *RNG, dist KeyDist, n int) []aem.Item {
+	items := make([]aem.Item, n)
+	switch dist {
+	case Random:
+		for i := range items {
+			items[i] = aem.Item{Key: r.Int63(), Aux: int64(i)}
+		}
+	case Sorted:
+		for i := range items {
+			items[i] = aem.Item{Key: int64(i), Aux: int64(i)}
+		}
+	case Reversed:
+		for i := range items {
+			items[i] = aem.Item{Key: int64(n - i), Aux: int64(i)}
+		}
+	case FewDistinct:
+		for i := range items {
+			items[i] = aem.Item{Key: int64(r.Intn(16)), Aux: int64(i)}
+		}
+	case NearlySorted:
+		for i := range items {
+			items[i] = aem.Item{Key: int64(i), Aux: int64(i)}
+		}
+		swaps := n / 20
+		for s := 0; s < swaps; s++ {
+			i := r.Intn(n)
+			j := i + 1 + r.Intn(8)
+			if j >= n {
+				j = n - 1
+			}
+			items[i].Key, items[j].Key = items[j].Key, items[i].Key
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown distribution %v", dist))
+	}
+	return items
+}
+
+// Permutation generates the permuting problem instance of Section 4 of the
+// paper: n atoms in input order, where atom i must be moved to position
+// p[i]. The returned items carry Key = destination position and Aux = i
+// (the atom's identity), which is exactly the tagging used by sort-based
+// permuting.
+func Permutation(r *RNG, n int) (items []aem.Item, p []int) {
+	p = r.Perm(n)
+	items = make([]aem.Item, n)
+	for i := range items {
+		items[i] = aem.Item{Key: int64(p[i]), Aux: int64(i)}
+	}
+	return items, p
+}
+
+// Conformation is the structure of a sparse N×N matrix with exactly Delta
+// non-zero entries per column (H = Delta·N non-zeros in total), as studied
+// in Section 5 of the paper. Rows[c] lists the row indices of column c's
+// non-zeros in increasing order, matching the paper's column-major layout
+// in which each column's entries are stored by increasing row index.
+type Conformation struct {
+	N     int
+	Delta int
+	Rows  [][]int32
+}
+
+// H returns the total number of non-zero entries, H = δ·N.
+func (c *Conformation) H() int { return c.N * c.Delta }
+
+// NewConformation draws a random conformation: each column receives Delta
+// distinct row indices chosen uniformly. It panics unless 1 ≤ delta ≤ n.
+func NewConformation(r *RNG, n, delta int) *Conformation {
+	if delta < 1 || delta > n {
+		panic(fmt.Sprintf("workload: conformation needs 1 ≤ δ ≤ N, got δ=%d N=%d", delta, n))
+	}
+	c := &Conformation{N: n, Delta: delta, Rows: make([][]int32, n)}
+	for col := 0; col < n; col++ {
+		c.Rows[col] = sampleDistinct(r, n, delta)
+	}
+	return c
+}
+
+// BandedConformation returns a deterministic banded matrix: column c has
+// non-zeros in rows c, c+1, …, c+δ−1 (mod N). Banded matrices are the
+// friendly extreme for SpMxV — the direct algorithm touches blocks almost
+// sequentially — and bound the other end of the cost range from random
+// conformations.
+func BandedConformation(n, delta int) *Conformation {
+	if delta < 1 || delta > n {
+		panic(fmt.Sprintf("workload: conformation needs 1 ≤ δ ≤ N, got δ=%d N=%d", delta, n))
+	}
+	c := &Conformation{N: n, Delta: delta, Rows: make([][]int32, n)}
+	for col := 0; col < n; col++ {
+		rows := make([]int32, delta)
+		for k := 0; k < delta; k++ {
+			rows[k] = int32((col + k) % n)
+		}
+		sortInt32(rows)
+		c.Rows[col] = rows
+	}
+	return c
+}
+
+// sampleDistinct draws k distinct values from [0, n) and returns them
+// sorted increasingly. It uses Floyd's algorithm, which needs only O(k)
+// space.
+func sampleDistinct(r *RNG, n, k int) []int32 {
+	chosen := make(map[int32]struct{}, k)
+	out := make([]int32, 0, k)
+	for j := n - k; j < n; j++ {
+		v := int32(r.Intn(j + 1))
+		if _, dup := chosen[v]; dup {
+			v = int32(j)
+		}
+		chosen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sortInt32(out)
+	return out
+}
+
+// sortInt32 sorts in place; insertion sort suffices for the δ-sized slices
+// used here but we guard against large inputs with a simple quicksort.
+func sortInt32(a []int32) {
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	sortInt32(a[:hi+1])
+	sortInt32(a[lo:])
+}

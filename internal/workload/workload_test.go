@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestRNGKnownValues(t *testing.T) {
+	// Splitmix64 reference values for seed 0 (from the original public
+	// domain implementation by Sebastiano Vigna).
+	r := NewRNG(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Errorf("value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		seen := make(map[int]bool)
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		if n <= 10 && len(seen) != n {
+			t.Errorf("Intn(%d) hit only %d distinct values in 200 draws", n, len(seen))
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nSel uint8) bool {
+		n := int(nSel%64) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeysDistributions(t *testing.T) {
+	const n = 256
+	for _, d := range Dists() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			items := Keys(NewRNG(1), d, n)
+			if len(items) != n {
+				t.Fatalf("got %d items", len(items))
+			}
+			for i, it := range items {
+				if it.Aux != int64(i) {
+					t.Fatalf("item %d has Aux %d, want original index", i, it.Aux)
+				}
+			}
+			switch d {
+			case Sorted:
+				for i := 1; i < n; i++ {
+					if items[i].Key < items[i-1].Key {
+						t.Fatal("Sorted output not sorted")
+					}
+				}
+			case Reversed:
+				for i := 1; i < n; i++ {
+					if items[i].Key > items[i-1].Key {
+						t.Fatal("Reversed output not decreasing")
+					}
+				}
+			case FewDistinct:
+				for _, it := range items {
+					if it.Key < 0 || it.Key >= 16 {
+						t.Fatalf("FewDistinct key %d out of range", it.Key)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	a := Keys(NewRNG(5), Random, 100)
+	b := Keys(NewRNG(5), Random, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different keys")
+		}
+	}
+}
+
+func TestPermutationInstance(t *testing.T) {
+	items, p := Permutation(NewRNG(3), 64)
+	if len(items) != 64 || len(p) != 64 {
+		t.Fatalf("lengths %d, %d", len(items), len(p))
+	}
+	seen := make([]bool, 64)
+	for i, it := range items {
+		if it.Aux != int64(i) {
+			t.Fatalf("atom %d has identity %d", i, it.Aux)
+		}
+		if it.Key != int64(p[i]) {
+			t.Fatalf("atom %d has destination %d, p[i]=%d", i, it.Key, p[i])
+		}
+		if seen[p[i]] {
+			t.Fatalf("destination %d repeated", p[i])
+		}
+		seen[p[i]] = true
+	}
+}
+
+func TestConformationShape(t *testing.T) {
+	f := func(seed uint64, nSel, dSel uint8) bool {
+		n := 8 + int(nSel%56)
+		delta := 1 + int(dSel)%n
+		c := NewConformation(NewRNG(seed), n, delta)
+		if c.H() != n*delta {
+			return false
+		}
+		for col := 0; col < n; col++ {
+			rows := c.Rows[col]
+			if len(rows) != delta {
+				return false
+			}
+			for k, r := range rows {
+				if r < 0 || int(r) >= n {
+					return false
+				}
+				if k > 0 && rows[k] <= rows[k-1] {
+					return false // must be strictly increasing (distinct, sorted)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedConformation(t *testing.T) {
+	c := BandedConformation(10, 3)
+	if c.H() != 30 {
+		t.Fatalf("H = %d", c.H())
+	}
+	// Column 8 wraps: rows {8, 9, 0} sorted → {0, 8, 9}.
+	got := c.Rows[8]
+	want := []int32{0, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("column 8 rows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConformationPanicsOnBadDelta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for δ > N")
+		}
+	}()
+	NewConformation(NewRNG(1), 4, 5)
+}
+
+func TestSortInt32LargeSlices(t *testing.T) {
+	r := NewRNG(11)
+	a := make([]int32, 500)
+	for i := range a {
+		a[i] = int32(r.Intn(100))
+	}
+	sortInt32(a)
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("sortInt32 failed on large slice")
+		}
+	}
+}
