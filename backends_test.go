@@ -1,0 +1,182 @@
+// Cross-backend integration: every storage engine must leave the cost
+// model untouched. The data-bearing engines (slice reference, arena) must
+// agree on outputs *and* I/O accounting for every algorithm in the
+// repository; the counting engine must agree on accounting for
+// data-oblivious programs, which is all it exists for.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/permute"
+	"repro/internal/pq"
+	"repro/internal/sorting"
+	"repro/internal/spmxv"
+	"repro/internal/workload"
+)
+
+// dataEngines returns fresh machines on the two data-bearing backends.
+func dataEngines(cfg aem.Config) map[string]*aem.Machine {
+	return map[string]*aem.Machine{
+		"slice": aem.New(cfg),
+		"arena": aem.NewWithStorage(cfg, aem.NewArenaStorage(cfg.B)),
+	}
+}
+
+// TestAlgorithmsIdenticalAcrossDataBackends is the conformance suite at
+// algorithm level: identical outputs, Stats, Cost, phase totals and
+// internal-memory peaks on the reference and arena engines, for every
+// algorithm family in the repository.
+func TestAlgorithmsIdenticalAcrossDataBackends(t *testing.T) {
+	cfg := aem.Config{M: 128, B: 8, Omega: 8}
+	const n = 1 << 12
+	in := workload.Keys(workload.NewRNG(77), workload.Random, n)
+	items, perm := workload.Permutation(workload.NewRNG(78), n)
+
+	rng := workload.NewRNG(79)
+	conf := workload.NewConformation(rng, 256, 4)
+	values := make([]int64, conf.H())
+	x := make([]int64, 256)
+	for i := range values {
+		values[i] = int64(rng.Intn(50))
+	}
+	for i := range x {
+		x[i] = int64(rng.Intn(50))
+	}
+
+	algs := []struct {
+		name string
+		run  func(ma *aem.Machine) []aem.Item
+	}{
+		{"mergesort", func(ma *aem.Machine) []aem.Item {
+			return sorting.MergeSort(ma, aem.Load(ma, in)).Materialize()
+		}},
+		{"em-mergesort", func(ma *aem.Machine) []aem.Item {
+			return sorting.EMMergeSort(ma, aem.Load(ma, in)).Materialize()
+		}},
+		{"samplesort", func(ma *aem.Machine) []aem.Item {
+			return sorting.EMSampleSort(ma, aem.Load(ma, in), 5).Materialize()
+		}},
+		{"smallsort", func(ma *aem.Machine) []aem.Item {
+			return sorting.SmallSort(ma, aem.Load(ma, in[:cfg.M*4])).Materialize()
+		}},
+		{"heapsort", func(ma *aem.Machine) []aem.Item {
+			return pq.HeapSort(ma, aem.Load(ma, in)).Materialize()
+		}},
+		{"permute-direct", func(ma *aem.Machine) []aem.Item {
+			return permute.Direct(ma, aem.Load(ma, items), perm).Materialize()
+		}},
+		{"permute-sort", func(ma *aem.Machine) []aem.Item {
+			return permute.SortBased(ma, aem.Load(ma, items)).Materialize()
+		}},
+		{"spmxv-naive", func(ma *aem.Machine) []aem.Item {
+			m := spmxv.NewMatrix(ma, conf, values)
+			return spmxv.Naive(ma, m, spmxv.LoadDense(ma, x)).Materialize()
+		}},
+		{"spmxv-sort", func(ma *aem.Machine) []aem.Item {
+			m := spmxv.NewMatrix(ma, conf, values)
+			return spmxv.SortBased(ma, m, spmxv.LoadDense(ma, x)).Materialize()
+		}},
+	}
+
+	for _, alg := range algs {
+		t.Run(alg.name, func(t *testing.T) {
+			type outcome struct {
+				out    []aem.Item
+				stats  aem.Stats
+				cost   int64
+				peak   int
+				blocks int
+			}
+			var ref *outcome
+			for engine, ma := range dataEngines(cfg) {
+				got := outcome{out: alg.run(ma), stats: ma.Stats(),
+					cost: ma.Cost(), peak: ma.MemPeak(), blocks: ma.NumBlocks()}
+				if ref == nil {
+					ref = &got
+					continue
+				}
+				if got.stats != ref.stats {
+					t.Errorf("%s: stats %+v != reference %+v", engine, got.stats, ref.stats)
+				}
+				if got.cost != ref.cost {
+					t.Errorf("%s: cost %d != reference %d", engine, got.cost, ref.cost)
+				}
+				if got.peak != ref.peak {
+					t.Errorf("%s: memory peak %d != reference %d", engine, got.peak, ref.peak)
+				}
+				if got.blocks != ref.blocks {
+					t.Errorf("%s: allocated %d blocks != reference %d", engine, got.blocks, ref.blocks)
+				}
+				if len(got.out) != len(ref.out) {
+					t.Fatalf("%s: output length %d != reference %d", engine, len(got.out), len(ref.out))
+				}
+				for i := range got.out {
+					if got.out[i] != ref.out[i] {
+						t.Fatalf("%s: outputs differ at %d: %v != %v", engine, i, got.out[i], ref.out[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCountingBackendMatchesObliviousPrograms: programs whose I/O schedule
+// depends only on program knowledge (lengths, addresses, the permutation)
+// must produce identical accounting on the counting engine, which moves no
+// data at all. permute.Direct is the paper's canonical such program.
+func TestCountingBackendMatchesObliviousPrograms(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 8, Omega: 16}
+	const n = 1 << 10
+	items, perm := workload.Permutation(workload.NewRNG(80), n)
+
+	engines := map[string]func() aem.Storage{
+		"slice":    func() aem.Storage { return aem.NewSliceStorage() },
+		"arena":    func() aem.Storage { return aem.NewArenaStorage(cfg.B) },
+		"counting": func() aem.Storage { return aem.NewCountingStorage() },
+	}
+	programs := []struct {
+		name string
+		run  func(ma *aem.Machine)
+	}{
+		{"permute-direct", func(ma *aem.Machine) {
+			permute.Direct(ma, aem.Load(ma, items), perm)
+		}},
+		{"scan-copy", func(ma *aem.Machine) {
+			v := aem.Load(ma, items)
+			out := aem.NewVector(ma, v.Len())
+			sc := v.NewScanner()
+			w := out.NewWriter()
+			for {
+				it, ok := sc.Next()
+				if !ok {
+					break
+				}
+				w.Append(it)
+			}
+			sc.Close()
+			w.Close()
+		}},
+	}
+
+	for _, p := range programs {
+		t.Run(p.name, func(t *testing.T) {
+			var refName string
+			var ref aem.Stats
+			var refCost int64
+			for name, mk := range engines {
+				ma := aem.NewWithStorage(cfg, mk())
+				p.run(ma)
+				if refName == "" {
+					refName, ref, refCost = name, ma.Stats(), ma.Cost()
+					continue
+				}
+				if ma.Stats() != ref || ma.Cost() != refCost {
+					t.Errorf("%s: stats %+v cost %d != %s reference %+v cost %d",
+						name, ma.Stats(), ma.Cost(), refName, ref, refCost)
+				}
+			}
+		})
+	}
+}

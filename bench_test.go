@@ -1,8 +1,9 @@
 // Package repro's benchmark harness: one testing.B benchmark per
-// experiment in DESIGN.md's index. The benchmarks measure simulator wall
-// time, and every iteration also reports the model-level metrics the paper
-// is about (AEM cost, I/O counts) via b.ReportMetric, so `go test -bench`
-// regenerates the per-experiment numbers alongside timing.
+// experiment in the index of README.md ("Experiments"). The benchmarks
+// measure simulator wall time, and every iteration also reports the
+// model-level metrics the paper is about (AEM cost, I/O counts) via
+// b.ReportMetric, so `go test -bench` regenerates the per-experiment
+// numbers alongside timing.
 package repro
 
 import (
@@ -63,6 +64,35 @@ func BenchmarkMergeSort(b *testing.B) {
 			pred := bounds.MergeSortPredicted(bounds.Params{N: n, Cfg: cfg}).Cost(cfg.Omega)
 			b.ReportMetric(float64(cost), "aem-cost")
 			b.ReportMetric(float64(cost)/pred, "meas/pred")
+		})
+	}
+}
+
+// Storage-engine comparison: the same mergesort on the reference slice
+// backend vs the zero-allocation arena backend. I/O counts (the model
+// metric) are identical by construction — the conformance tests pin that —
+// so the difference is pure simulator speed and allocs/op, which is the
+// engine refactor's acceptance criterion.
+func BenchmarkMergeSortBackends(b *testing.B) {
+	cfg := aem.Config{M: 128, B: 8, Omega: 8}
+	const n = 1 << 14
+	in := workload.Keys(workload.NewRNG(1), workload.Random, n)
+	for _, eng := range []struct {
+		name string
+		make func() aem.Storage
+	}{
+		{"slice", func() aem.Storage { return aem.NewSliceStorage() }},
+		{"arena", func() aem.Storage { return aem.NewArenaStorage(cfg.B) }},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				ma := aem.NewWithStorage(cfg, eng.make())
+				sorting.MergeSort(ma, aem.Load(ma, in))
+				cost = ma.Cost()
+			}
+			b.ReportMetric(float64(cost), "aem-cost")
 		})
 	}
 }

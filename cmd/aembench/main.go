@@ -1,13 +1,18 @@
 // Command aembench regenerates the repository's experiments: one table per
 // theorem/lemma of "Lower Bounds in the Asymmetric External Memory Model"
-// (Jacob & Sitchinava, SPAA 2017). See DESIGN.md for the experiment index
-// and EXPERIMENTS.md for recorded results.
+// (Jacob & Sitchinava, SPAA 2017). See README.md ("Experiments") for the
+// experiment index and how to read the tables.
+//
+// Independent experiments run on a bounded worker pool (-par); tables are
+// always emitted in index order, so the output is byte-identical at every
+// parallelism level.
 //
 // Usage:
 //
 //	aembench -list            list experiment ids
 //	aembench                  run every experiment, tables to stdout
 //	aembench -exp EXP-P1      run one experiment
+//	aembench -par 8           run experiments on 8 workers
 //	aembench -csv out/        additionally write one CSV per experiment
 package main
 
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/harness"
@@ -26,6 +32,7 @@ func main() {
 		expID  = flag.String("exp", "all", "experiment id to run, or 'all'")
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files into")
 		list   = flag.Bool("list", false, "list experiments and exit")
+		par    = flag.Int("par", runtime.NumCPU(), "number of experiments to run concurrently")
 	)
 	flag.Parse()
 
@@ -55,11 +62,10 @@ func main() {
 		}
 	}
 
-	for _, e := range exps {
-		tbl := e.Run()
+	harness.Run(exps, *par, func(tbl *harness.Table) {
 		tbl.Render(os.Stdout)
 		if *csvDir != "" {
-			name := strings.ToLower(strings.ReplaceAll(e.ID, "EXP-", "exp_")) + ".csv"
+			name := strings.ToLower(strings.ReplaceAll(tbl.ID, "EXP-", "exp_")) + ".csv"
 			f, err := os.Create(filepath.Join(*csvDir, name))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "aembench: %v\n", err)
@@ -71,5 +77,5 @@ func main() {
 				os.Exit(1)
 			}
 		}
-	}
+	})
 }

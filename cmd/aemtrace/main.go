@@ -6,8 +6,13 @@
 // Usage:
 //
 //	aemtrace -alg aem -n 16384 -m 512 -b 16 -omega 8
+//	aemtrace -alg aem -n 16384 -stream ops.trace
 //
 // Algorithms: aem | em | sample | heap (sorting), spmxv-naive | spmxv-sort.
+//
+// With -stream FILE the trace is written to FILE as it is recorded — one
+// "R addr" / "W addr" line per I/O through a bounded buffer, so traces of
+// any length use O(1) memory — and the in-memory round analysis is skipped.
 package main
 
 import (
@@ -29,8 +34,9 @@ func main() {
 		m     = flag.Int("m", 512, "internal memory M in items")
 		b     = flag.Int("b", 16, "block size B in items")
 		omega = flag.Int("omega", 8, "write/read cost ratio ω")
-		alg   = flag.String("alg", "aem", "algorithm: aem | em | sample | heap | spmxv-naive | spmxv-sort")
-		seed  = flag.Uint64("seed", 1, "workload seed")
+		alg    = flag.String("alg", "aem", "algorithm: aem | em | sample | heap | spmxv-naive | spmxv-sort")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		stream = flag.String("stream", "", "stream the trace to this file instead of analyzing it in memory")
 	)
 	flag.Parse()
 
@@ -41,7 +47,20 @@ func main() {
 	}
 
 	ma := aem.New(cfg)
-	ma.StartTrace()
+	var sink *aem.StreamSink
+	var streamFile *os.File
+	if *stream != "" {
+		f, err := os.Create(*stream)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aemtrace: %v\n", err)
+			os.Exit(1)
+		}
+		streamFile = f
+		sink = aem.NewStreamSink(f)
+		ma.SetTraceSink(sink)
+	} else {
+		ma.StartTrace()
+	}
 	switch *alg {
 	case "aem":
 		in := workload.Keys(workload.NewRNG(*seed), workload.Random, *n)
@@ -69,6 +88,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "aemtrace: unknown algorithm %q\n", *alg)
 		os.Exit(2)
+	}
+	if sink != nil {
+		ma.SetTraceSink(nil)
+		// Close errors matter here: a deferred-write failure (quota, NFS)
+		// surfaces at Close, and reporting success over a truncated trace
+		// would be worse than failing.
+		err := sink.Flush()
+		if cerr := streamFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aemtrace: writing %s: %v\n", *stream, err)
+			os.Exit(1)
+		}
+		fmt.Printf("machine        (M=%d, B=%d, ω=%d)-AEM\n", cfg.M, cfg.B, cfg.Omega)
+		fmt.Printf("algorithm      %s on N=%d\n", *alg, *n)
+		fmt.Printf("trace          %d ops (%s) streamed to %s\n", sink.Len(), ma.Stats(), *stream)
+		fmt.Printf("cost Q         %d\n", ma.Cost())
+		return
 	}
 	ops := ma.StopTrace()
 

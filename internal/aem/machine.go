@@ -31,6 +31,11 @@ type TraceOp struct {
 // Machine simulates an (M,B,ω)-AEM machine: a block-granular external
 // memory, an internal memory capacity meter, and I/O cost accounting.
 //
+// The external memory's contents live in a pluggable Storage engine; the
+// machine itself owns only the cost model. New machines default to the
+// reference SliceStorage — use NewWithStorage to run on the zero-allocation
+// ArenaStorage or the data-free CountingStorage (or any future engine).
+//
 // The simulator deliberately does not model internal memory *contents* —
 // internal computation is free in the model — but it does meter how many
 // item slots an algorithm has reserved, and panics if the total ever exceeds
@@ -38,29 +43,52 @@ type TraceOp struct {
 // bug in the algorithm (its memory footprint analysis is wrong), so the
 // violation is an assertion failure rather than an error return.
 type Machine struct {
-	cfg     Config
-	disk    [][]Item
-	stats   Stats
-	phases  PhaseStats
-	phase   string
-	inUse   int
-	peak    int
-	tracing bool
-	trace   []TraceOp
+	cfg       Config
+	store     Storage
+	stats     Stats
+	phases    PhaseStats
+	phase     string
+	phaseSlot *Stats // phases slot for the current phase, kept hot
+	inUse     int
+	peak      int
+	sink      TraceSink
+	started   *MemorySink // sink installed by StartTrace, if any
 }
 
-// New returns a fresh machine with an empty disk. It panics if cfg is
-// invalid; constructing a machine from bad parameters is a programming
-// error, and every CLI validates user input before reaching this point.
+// New returns a fresh machine backed by the reference slice engine. It
+// panics if cfg is invalid; constructing a machine from bad parameters is a
+// programming error, and every CLI validates user input before reaching
+// this point.
 func New(cfg Config) *Machine {
+	return NewWithStorage(cfg, NewSliceStorage())
+}
+
+// NewWithStorage returns a fresh machine on the given storage engine,
+// which must be empty. Like New it panics on an invalid cfg, and on an
+// engine whose fixed block capacity is smaller than cfg.B — catching the
+// misconfiguration at construction rather than at the first large write
+// deep inside an algorithm.
+func NewWithStorage(cfg Config, store Storage) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{cfg: cfg, phase: "main"}
+	if store.NumBlocks() != 0 {
+		panic(fmt.Sprintf("aem: NewWithStorage: engine already holds %d blocks", store.NumBlocks()))
+	}
+	if sized, ok := store.(interface{ BlockSize() int }); ok && sized.BlockSize() < cfg.B {
+		panic(fmt.Sprintf("aem: NewWithStorage: engine block capacity %d < B = %d", sized.BlockSize(), cfg.B))
+	}
+	ma := &Machine{cfg: cfg, store: store}
+	ma.phaseSlot = ma.phases.slot("main")
+	ma.phase = "main"
+	return ma
 }
 
 // Config returns the machine parameters.
 func (ma *Machine) Config() Config { return ma.cfg }
+
+// Storage returns the machine's storage engine.
+func (ma *Machine) Storage() Storage { return ma.store }
 
 // Stats returns the accumulated I/O counts.
 func (ma *Machine) Stats() Stats { return ma.stats }
@@ -72,6 +100,7 @@ func (ma *Machine) Cost() int64 { return ma.stats.Cost(ma.cfg.Omega) }
 func (ma *Machine) ResetStats() {
 	ma.stats = Stats{}
 	ma.phases = PhaseStats{}
+	ma.phaseSlot = ma.phases.slot(ma.phase)
 }
 
 // SetPhase labels subsequent I/Os with the given phase name for per-stage
@@ -80,29 +109,51 @@ func (ma *Machine) ResetStats() {
 func (ma *Machine) SetPhase(name string) (previous string) {
 	previous = ma.phase
 	ma.phase = name
+	ma.phaseSlot = ma.phases.slot(name)
 	return previous
 }
 
 // Phases returns the per-phase I/O accounting.
 func (ma *Machine) Phases() *PhaseStats { return &ma.phases }
 
-// StartTrace begins recording every I/O operation. Recording continues
-// until StopTrace is called.
-func (ma *Machine) StartTrace() {
-	ma.tracing = true
-	ma.trace = ma.trace[:0]
+// SetTraceSink installs a sink that receives every subsequent I/O
+// operation, returning the previously installed sink (nil if none). Pass
+// nil to stop tracing. Streaming sinks make production-scale traces
+// possible: the machine holds no trace state of its own.
+func (ma *Machine) SetTraceSink(sink TraceSink) (previous TraceSink) {
+	previous = ma.sink
+	ma.sink = sink
+	ma.started = nil
+	return previous
 }
 
-// StopTrace stops recording and returns the recorded operations.
+// StartTrace begins recording every I/O operation into a fresh in-memory
+// sink. Recording continues until StopTrace is called. It is shorthand
+// for SetTraceSink(&MemorySink{}) plus bookkeeping, kept for the common
+// record-then-analyze pattern.
+func (ma *Machine) StartTrace() {
+	ma.started = &MemorySink{}
+	ma.sink = ma.started
+}
+
+// StopTrace stops recording and returns the operations recorded since
+// StartTrace. It panics if tracing was started with SetTraceSink rather
+// than StartTrace — the caller owns such a sink and reads it directly.
 func (ma *Machine) StopTrace() []TraceOp {
-	ma.tracing = false
-	ops := ma.trace
-	ma.trace = nil
+	if ma.started == nil {
+		panic("aem: StopTrace without StartTrace")
+	}
+	ops := ma.started.Ops()
+	ma.sink = nil
+	ma.started = nil
 	return ops
 }
 
+// Tracing reports whether a trace sink is currently installed.
+func (ma *Machine) Tracing() bool { return ma.sink != nil }
+
 // NumBlocks returns the number of blocks currently allocated on disk.
-func (ma *Machine) NumBlocks() int { return len(ma.disk) }
+func (ma *Machine) NumBlocks() int { return ma.store.NumBlocks() }
 
 // Alloc reserves count fresh, empty, contiguous blocks of external memory
 // and returns the address of the first. Allocation itself is free: the
@@ -112,24 +163,29 @@ func (ma *Machine) Alloc(count int) Addr {
 	if count < 0 {
 		panic(fmt.Sprintf("aem: Alloc(%d): negative count", count))
 	}
-	base := Addr(len(ma.disk))
-	for i := 0; i < count; i++ {
-		ma.disk = append(ma.disk, nil)
-	}
-	return base
+	return ma.store.Alloc(count)
 }
 
 // Read performs one read I/O and returns a copy of the block's contents
 // (between 0 and B items). The copy models the transfer into internal
 // memory; callers own the returned slice but must account for its footprint
 // with Reserve if they retain it.
+//
+// Read allocates the returned slice on every call; hot paths should use
+// ReadInto with a reused buffer instead.
 func (ma *Machine) Read(a Addr) []Item {
-	ma.checkAddr(a, "Read")
+	return ma.ReadInto(a, nil)
+}
+
+// ReadInto performs one read I/O, copies the block's contents into dst and
+// returns the filled prefix. With cap(dst) ≥ B it performs no allocation —
+// this is the hot path every algorithm package uses, and the reason the
+// arena engine reaches zero allocations per I/O. The previous contents of
+// dst are overwritten; the returned slice aliases dst.
+func (ma *Machine) ReadInto(a Addr, dst []Item) []Item {
+	ma.checkAddr(a, "ReadInto")
 	ma.count(OpRead, a)
-	blk := ma.disk[a]
-	out := make([]Item, len(blk))
-	copy(out, blk)
-	return out
+	return ma.store.ReadInto(a, dst)
 }
 
 // Write performs one write I/O, replacing the block's contents with a copy
@@ -141,9 +197,7 @@ func (ma *Machine) Write(a Addr, items []Item) {
 		panic(fmt.Sprintf("aem: Write(%d): %d items exceed block size B=%d", a, len(items), ma.cfg.B))
 	}
 	ma.count(OpWrite, a)
-	blk := make([]Item, len(items))
-	copy(blk, items)
-	ma.disk[a] = blk
+	ma.store.Write(a, items)
 }
 
 // Peek returns the block's contents without performing (or costing) an I/O.
@@ -153,11 +207,13 @@ func (ma *Machine) Write(a Addr, items []Item) {
 // to move item *values* — tests enforce cost bounds that would be violated
 // by such cheating anyway.
 func (ma *Machine) Peek(a Addr) []Item {
-	ma.checkAddr(a, "Peek")
-	blk := ma.disk[a]
-	out := make([]Item, len(blk))
-	copy(out, blk)
-	return out
+	return ma.PeekInto(a, nil)
+}
+
+// PeekInto is Peek with a caller-owned buffer, mirroring ReadInto.
+func (ma *Machine) PeekInto(a Addr, dst []Item) []Item {
+	ma.checkAddr(a, "PeekInto")
+	return ma.store.ReadInto(a, dst)
 }
 
 // Poke replaces the block's contents without performing (or costing) an
@@ -168,9 +224,7 @@ func (ma *Machine) Poke(a Addr, items []Item) {
 	if len(items) > ma.cfg.B {
 		panic(fmt.Sprintf("aem: Poke(%d): %d items exceed block size B=%d", a, len(items), ma.cfg.B))
 	}
-	blk := make([]Item, len(items))
-	copy(blk, items)
-	ma.disk[a] = blk
+	ma.store.Write(a, items)
 }
 
 // Reserve meters the allocation of slots items of internal memory. It
@@ -204,21 +258,20 @@ func (ma *Machine) MemInUse() int { return ma.inUse }
 func (ma *Machine) MemPeak() int { return ma.peak }
 
 func (ma *Machine) count(kind OpKind, a Addr) {
-	switch kind {
-	case OpRead:
+	if kind == OpRead {
 		ma.stats.Reads++
-		ma.phases.Record(ma.phase, Stats{Reads: 1})
-	case OpWrite:
+		ma.phaseSlot.Reads++
+	} else {
 		ma.stats.Writes++
-		ma.phases.Record(ma.phase, Stats{Writes: 1})
+		ma.phaseSlot.Writes++
 	}
-	if ma.tracing {
-		ma.trace = append(ma.trace, TraceOp{Kind: kind, Addr: a})
+	if ma.sink != nil {
+		ma.sink.Record(TraceOp{Kind: kind, Addr: a})
 	}
 }
 
 func (ma *Machine) checkAddr(a Addr, op string) {
-	if a < 0 || int(a) >= len(ma.disk) {
-		panic(fmt.Sprintf("aem: %s(%d): address out of range [0,%d)", op, a, len(ma.disk)))
+	if a < 0 || int(a) >= ma.store.NumBlocks() {
+		panic(fmt.Sprintf("aem: %s(%d): address out of range [0,%d)", op, a, ma.store.NumBlocks()))
 	}
 }

@@ -1,0 +1,155 @@
+package aem
+
+import (
+	"testing"
+)
+
+// benchConfig is sized so the working set is a few thousand blocks —
+// enough to defeat trivial caching, small enough for stable numbers.
+func benchConfig() Config { return Config{M: 1 << 10, B: 64, Omega: 8} }
+
+func benchEngines(cfg Config) []struct {
+	name string
+	make func() Storage
+} {
+	return []struct {
+		name string
+		make func() Storage
+	}{
+		{"slice", func() Storage { return NewSliceStorage() }},
+		{"arena", func() Storage { return NewArenaStorage(cfg.B) }},
+		{"counting", func() Storage { return NewCountingStorage() }},
+	}
+}
+
+// BenchmarkMachineReadWrite measures the simulator's hot path — one costed
+// read plus one costed write per iteration — on every storage engine, with
+// allocs/op reported. The reference slice engine allocates on both sides
+// of the transfer; the arena and counting engines must not allocate at
+// all.
+func BenchmarkMachineReadWrite(b *testing.B) {
+	cfg := benchConfig()
+	const blocks = 1 << 12
+	for _, eng := range benchEngines(cfg) {
+		b.Run(eng.name, func(b *testing.B) {
+			ma := NewWithStorage(cfg, eng.make())
+			base := ma.Alloc(blocks)
+			blk := make([]Item, cfg.B)
+			for i := range blk {
+				blk[i] = Item{Key: int64(i), Aux: int64(i)}
+			}
+			for i := 0; i < blocks; i++ {
+				ma.Poke(base+Addr(i), blk)
+			}
+			buf := make([]Item, 0, cfg.B)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := ma.ReadInto(base+Addr(i&(blocks-1)), buf)
+				ma.Write(base+Addr((i+1)&(blocks-1)), got)
+			}
+			b.ReportMetric(float64(2*cfg.B*16), "bytes-moved/op")
+		})
+	}
+}
+
+// BenchmarkArenaReadInto is the tentpole's acceptance benchmark: a costed
+// block read on the arena engine must be a single copy with 0 allocs/op.
+func BenchmarkArenaReadInto(b *testing.B) {
+	cfg := benchConfig()
+	ma := NewWithStorage(cfg, NewArenaStorage(cfg.B))
+	const blocks = 1 << 12
+	base := ma.Alloc(blocks)
+	blk := make([]Item, cfg.B)
+	for i := 0; i < blocks; i++ {
+		ma.Poke(base+Addr(i), blk)
+	}
+	buf := make([]Item, 0, cfg.B)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ma.ReadInto(base+Addr(i&(blocks-1)), buf)
+	}
+}
+
+// BenchmarkMachineLegacyRead pins the cost of the allocating Read path the
+// algorithm packages migrated away from, for comparison in benchstat.
+func BenchmarkMachineLegacyRead(b *testing.B) {
+	cfg := benchConfig()
+	for _, eng := range benchEngines(cfg) {
+		if eng.name == "counting" {
+			continue // identical to arena here: nothing to copy
+		}
+		b.Run(eng.name, func(b *testing.B) {
+			ma := NewWithStorage(cfg, eng.make())
+			const blocks = 1 << 12
+			base := ma.Alloc(blocks)
+			blk := make([]Item, cfg.B)
+			for i := 0; i < blocks; i++ {
+				ma.Poke(base+Addr(i), blk)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ma.Read(base + Addr(i&(blocks-1)))
+			}
+		})
+	}
+}
+
+// BenchmarkScanner measures the streaming read path (the substrate of
+// every algorithm's scans) per engine.
+func BenchmarkScanner(b *testing.B) {
+	cfg := benchConfig()
+	const n = 1 << 16
+	for _, eng := range benchEngines(cfg) {
+		b.Run(eng.name, func(b *testing.B) {
+			ma := NewWithStorage(cfg, eng.make())
+			v := Load(ma, make([]Item, n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := v.NewScanner()
+				for {
+					if _, ok := sc.Next(); !ok {
+						break
+					}
+				}
+				sc.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkTraceSinks compares trace recording costs per op.
+func BenchmarkTraceSinks(b *testing.B) {
+	cfg := benchConfig()
+	sinks := []struct {
+		name string
+		make func() TraceSink
+	}{
+		{"memory", func() TraceSink { return &MemorySink{} }},
+		{"stream-discard", func() TraceSink { return NewStreamSink(discard{}) }},
+	}
+	for _, s := range sinks {
+		b.Run(s.name, func(b *testing.B) {
+			ma := NewWithStorage(cfg, NewArenaStorage(cfg.B))
+			base := ma.Alloc(64)
+			blk := make([]Item, cfg.B)
+			for i := 0; i < 64; i++ {
+				ma.Poke(base+Addr(i), blk)
+			}
+			ma.SetTraceSink(s.make())
+			buf := make([]Item, 0, cfg.B)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = ma.ReadInto(base+Addr(i&63), buf)
+			}
+		})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

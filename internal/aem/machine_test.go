@@ -211,7 +211,7 @@ func TestTraceRecording(t *testing.T) {
 		}
 	}
 	ma.Read(a) // after trace: not recorded
-	if ma.tracing {
+	if ma.Tracing() {
 		t.Error("machine still tracing after StopTrace")
 	}
 }

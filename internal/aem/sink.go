@@ -1,0 +1,93 @@
+package aem
+
+import (
+	"io"
+	"strconv"
+)
+
+// TraceSink receives every I/O operation a machine performs while a sink
+// is installed (SetTraceSink). Decoupling trace consumption from the
+// machine means production-scale traces no longer have to accumulate in
+// RAM: a MemorySink keeps the classic in-memory []TraceOp behavior, while
+// a StreamSink writes each operation through a bounded buffer to any
+// io.Writer (a file, a pipe, a compressor).
+//
+// Record is called from the machine's I/O hot path; implementations
+// should not allocate per operation.
+type TraceSink interface {
+	Record(op TraceOp)
+}
+
+// MemorySink buffers the trace in memory, exactly like the machine's
+// original recorder. Use it when the trace is consumed programmatically
+// (round decomposition, Lemma 4.1 conversion) and fits comfortably in RAM.
+type MemorySink struct {
+	ops []TraceOp
+}
+
+// Record implements TraceSink.
+func (s *MemorySink) Record(op TraceOp) { s.ops = append(s.ops, op) }
+
+// Ops returns the recorded operations.
+func (s *MemorySink) Ops() []TraceOp { return s.ops }
+
+// Reset discards the recorded operations, retaining capacity.
+func (s *MemorySink) Reset() { s.ops = s.ops[:0] }
+
+// streamSinkBufSize is the flush threshold of a StreamSink's internal
+// buffer, in bytes. One encoded op is at most ~22 bytes, so the sink holds
+// a few thousand ops at a time regardless of trace length.
+const streamSinkBufSize = 1 << 16
+
+// StreamSink encodes operations as text lines — "R 42\n" / "W 7\n", the
+// kind "R" or "W" followed by the block address — and writes them to w
+// through an internal buffer, flushed whenever it fills. Memory use is
+// O(1) in the trace length. Call Flush when the traced execution is done;
+// the first write error sticks and is reported there.
+type StreamSink struct {
+	w   io.Writer
+	buf []byte
+	n   int64
+	err error
+}
+
+// NewStreamSink returns a streaming sink writing to w.
+func NewStreamSink(w io.Writer) *StreamSink {
+	return &StreamSink{w: w, buf: make([]byte, 0, streamSinkBufSize)}
+}
+
+// Record implements TraceSink. It never allocates once the buffer exists.
+func (s *StreamSink) Record(op TraceOp) {
+	if s.err != nil {
+		return
+	}
+	if op.Kind == OpRead {
+		s.buf = append(s.buf, 'R', ' ')
+	} else {
+		s.buf = append(s.buf, 'W', ' ')
+	}
+	s.buf = strconv.AppendInt(s.buf, int64(op.Addr), 10)
+	s.buf = append(s.buf, '\n')
+	s.n++
+	if len(s.buf) >= streamSinkBufSize-32 {
+		s.flush()
+	}
+}
+
+// Len returns the number of operations recorded so far.
+func (s *StreamSink) Len() int64 { return s.n }
+
+// Flush writes any buffered operations to the underlying writer and
+// returns the first error encountered over the sink's lifetime.
+func (s *StreamSink) Flush() error {
+	s.flush()
+	return s.err
+}
+
+func (s *StreamSink) flush() {
+	if s.err != nil || len(s.buf) == 0 {
+		return
+	}
+	_, s.err = s.w.Write(s.buf)
+	s.buf = s.buf[:0]
+}

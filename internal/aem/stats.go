@@ -41,21 +41,39 @@ func (s Stats) String() string {
 // PhaseStats tracks I/O counts attributed to named phases of an algorithm,
 // e.g. the "merge" and "base" phases of mergesort, so that experiments can
 // report read/write splits per stage. The zero value is ready to use.
+//
+// Phases are stored behind stable pointers so the machine's I/O hot path
+// can increment the current phase without a map lookup per operation.
 type PhaseStats struct {
-	phases map[string]Stats
+	phases map[string]*Stats
+}
+
+// slot returns the stable accumulator for the named phase, creating it on
+// first use.
+func (p *PhaseStats) slot(phase string) *Stats {
+	if p.phases == nil {
+		p.phases = make(map[string]*Stats)
+	}
+	s, ok := p.phases[phase]
+	if !ok {
+		s = &Stats{}
+		p.phases[phase] = s
+	}
+	return s
 }
 
 // Record adds the delta to the named phase.
 func (p *PhaseStats) Record(phase string, delta Stats) {
-	if p.phases == nil {
-		p.phases = make(map[string]Stats)
-	}
-	p.phases[phase] = p.phases[phase].Add(delta)
+	s := p.slot(phase)
+	*s = s.Add(delta)
 }
 
 // Phase returns the accumulated stats for the named phase.
 func (p *PhaseStats) Phase(phase string) Stats {
-	return p.phases[phase]
+	if s, ok := p.phases[phase]; ok {
+		return *s
+	}
+	return Stats{}
 }
 
 // Phases returns the recorded phase names in sorted order.
@@ -72,7 +90,7 @@ func (p *PhaseStats) Phases() []string {
 func (p *PhaseStats) Total() Stats {
 	var total Stats
 	for _, s := range p.phases {
-		total = total.Add(s)
+		total = total.Add(*s)
 	}
 	return total
 }

@@ -1,0 +1,193 @@
+package aem
+
+import "fmt"
+
+// Storage is the pluggable block engine behind a Machine: it owns the
+// external memory's contents while the Machine owns the cost model (I/O
+// counting, phase attribution, tracing, internal-memory metering). The
+// split means every algorithm in this repository runs unchanged on any
+// backend, and new engines (mmap'd disk, compressed blocks, sharding) plug
+// in without touching the algorithms.
+//
+// The Machine's costed Read/Write and free Peek/Poke all map onto the same
+// two data methods here — whether a transfer is billed is the cost model's
+// business, not the storage's.
+//
+// Implementations may assume addresses are in range [0, NumBlocks()) and
+// len(items) ≤ the machine's block size B: the Machine validates both
+// before calling.
+type Storage interface {
+	// Alloc reserves count fresh, empty blocks and returns the address of
+	// the first. Blocks are never freed; addresses are dense and stable.
+	Alloc(count int) Addr
+
+	// NumBlocks returns the number of blocks allocated so far.
+	NumBlocks() int
+
+	// Len returns the number of items currently stored in block a
+	// (0 for a never-written block).
+	Len(a Addr) int
+
+	// ReadInto copies block a's contents into dst and returns the filled
+	// prefix dst[:Len(a)]. If cap(dst) < Len(a) a fresh slice is returned
+	// instead; callers that pass a capacity-B buffer never allocate.
+	ReadInto(a Addr, dst []Item) []Item
+
+	// Write replaces block a's contents with a copy of items; the caller
+	// keeps ownership of the argument slice.
+	Write(a Addr, items []Item)
+}
+
+// sizedDst returns dst resized to hold n items, allocating only when the
+// capacity is insufficient.
+func sizedDst(dst []Item, n int) []Item {
+	if cap(dst) < n {
+		return make([]Item, n)
+	}
+	return dst[:n]
+}
+
+// SliceStorage is the reference engine: one Go slice per block, exactly
+// the machine's original representation. Reads and writes copy through
+// freshly allocated block slices, which makes aliasing bugs impossible and
+// keeps the implementation obviously correct — the arena backend is
+// checked against it by the conformance suite.
+type SliceStorage struct {
+	blocks [][]Item
+}
+
+// NewSliceStorage returns an empty reference engine.
+func NewSliceStorage() *SliceStorage { return &SliceStorage{} }
+
+// Alloc implements Storage.
+func (s *SliceStorage) Alloc(count int) Addr {
+	base := Addr(len(s.blocks))
+	for i := 0; i < count; i++ {
+		s.blocks = append(s.blocks, nil)
+	}
+	return base
+}
+
+// NumBlocks implements Storage.
+func (s *SliceStorage) NumBlocks() int { return len(s.blocks) }
+
+// Len implements Storage.
+func (s *SliceStorage) Len(a Addr) int { return len(s.blocks[a]) }
+
+// ReadInto implements Storage.
+func (s *SliceStorage) ReadInto(a Addr, dst []Item) []Item {
+	blk := s.blocks[a]
+	dst = sizedDst(dst, len(blk))
+	copy(dst, blk)
+	return dst
+}
+
+// Write implements Storage.
+func (s *SliceStorage) Write(a Addr, items []Item) {
+	blk := make([]Item, len(items))
+	copy(blk, items)
+	s.blocks[a] = blk
+}
+
+// ArenaStorage stores every block in one contiguous arena: block a
+// occupies the B-item stride data[a·B : (a+1)·B], with the live length in
+// a side table. Transfers are single copies into caller-owned buffers, so
+// the steady-state read and write paths perform zero allocations per I/O —
+// the difference production-scale simulations feel, since the simulator's
+// hot loop is nothing but block transfers.
+type ArenaStorage struct {
+	b    int     // block stride in items
+	data []Item  // len = NumBlocks()·b
+	lens []int32 // live item count per block
+}
+
+// NewArenaStorage returns an empty arena engine for blocks of at most
+// blockSize items (the machine's B).
+func NewArenaStorage(blockSize int) *ArenaStorage {
+	if blockSize < 1 {
+		panic(fmt.Sprintf("aem: NewArenaStorage(%d): need blockSize ≥ 1", blockSize))
+	}
+	return &ArenaStorage{b: blockSize}
+}
+
+// Alloc implements Storage. Growing the arena is the only allocation the
+// engine ever performs, and it is amortized by append's doubling.
+func (s *ArenaStorage) Alloc(count int) Addr {
+	base := Addr(len(s.lens))
+	s.data = append(s.data, make([]Item, count*s.b)...)
+	s.lens = append(s.lens, make([]int32, count)...)
+	return base
+}
+
+// NumBlocks implements Storage.
+func (s *ArenaStorage) NumBlocks() int { return len(s.lens) }
+
+// BlockSize returns the arena's fixed per-block stride. NewWithStorage
+// uses it to reject engines that cannot hold a full B-item block.
+func (s *ArenaStorage) BlockSize() int { return s.b }
+
+// Len implements Storage.
+func (s *ArenaStorage) Len(a Addr) int { return int(s.lens[a]) }
+
+// ReadInto implements Storage.
+func (s *ArenaStorage) ReadInto(a Addr, dst []Item) []Item {
+	n := int(s.lens[a])
+	dst = sizedDst(dst, n)
+	copy(dst, s.data[int(a)*s.b:int(a)*s.b+n])
+	return dst
+}
+
+// Write implements Storage.
+func (s *ArenaStorage) Write(a Addr, items []Item) {
+	if len(items) > s.b {
+		panic(fmt.Sprintf("aem: arena Write(%d): %d items exceed stride %d", a, len(items), s.b))
+	}
+	off := int(a) * s.b
+	copy(s.data[off:], items)
+	s.lens[a] = int32(len(items))
+}
+
+// CountingStorage moves no data at all: it tracks only per-block lengths,
+// so reads return correctly sized but zeroed blocks. It exists for pure
+// cost-accounting runs — the paper's lower-bound sweeps need Q = Qr + ω·Qw,
+// not values — where it makes the simulator's data plane literally free.
+//
+// Only data-oblivious programs (scans, streaming writes, permute.Direct,
+// program replays) produce the same I/O schedule on this backend as on the
+// data-bearing ones; value-dependent algorithms such as the sorts branch
+// on block contents and must use SliceStorage or ArenaStorage.
+type CountingStorage struct {
+	lens []int32
+}
+
+// NewCountingStorage returns an empty counting-only engine.
+func NewCountingStorage() *CountingStorage { return &CountingStorage{} }
+
+// Alloc implements Storage.
+func (s *CountingStorage) Alloc(count int) Addr {
+	base := Addr(len(s.lens))
+	s.lens = append(s.lens, make([]int32, count)...)
+	return base
+}
+
+// NumBlocks implements Storage.
+func (s *CountingStorage) NumBlocks() int { return len(s.lens) }
+
+// Len implements Storage.
+func (s *CountingStorage) Len(a Addr) int { return int(s.lens[a]) }
+
+// ReadInto implements Storage. The returned prefix is zeroed rather than
+// left with stale buffer contents so that runs are deterministic.
+func (s *CountingStorage) ReadInto(a Addr, dst []Item) []Item {
+	n := int(s.lens[a])
+	dst = sizedDst(dst, n)
+	for i := range dst {
+		dst[i] = Item{}
+	}
+	return dst
+}
+
+// Write implements Storage: only the length is recorded.
+func (s *CountingStorage) Write(a Addr, items []Item) {
+	s.lens[a] = int32(len(items))
+}

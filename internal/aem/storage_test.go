@@ -1,0 +1,328 @@
+package aem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// engines enumerates every storage backend under its conformance name.
+// hasData is false for backends that track lengths but not values.
+func engines(blockSize int) []struct {
+	name    string
+	make    func() Storage
+	hasData bool
+} {
+	return []struct {
+		name    string
+		make    func() Storage
+		hasData bool
+	}{
+		{"slice", func() Storage { return NewSliceStorage() }, true},
+		{"arena", func() Storage { return NewArenaStorage(blockSize) }, true},
+		{"counting", func() Storage { return NewCountingStorage() }, false},
+	}
+}
+
+// TestStorageConformance runs the same block-level script against every
+// backend: allocation is dense, lengths round-trip through writes
+// (including partial blocks, overwrites and shrinks), and reads return
+// exactly the stored prefix. Value fidelity is asserted for the
+// data-bearing backends; the counting backend must return zeroed items.
+func TestStorageConformance(t *testing.T) {
+	const b = 4
+	for _, eng := range engines(b) {
+		t.Run(eng.name, func(t *testing.T) {
+			s := eng.make()
+			if s.NumBlocks() != 0 {
+				t.Fatalf("fresh engine holds %d blocks", s.NumBlocks())
+			}
+			if a := s.Alloc(3); a != 0 {
+				t.Fatalf("first Alloc at %d, want 0", a)
+			}
+			if a := s.Alloc(2); a != 3 {
+				t.Fatalf("second Alloc at %d, want 3 (dense addresses)", a)
+			}
+			if s.NumBlocks() != 5 {
+				t.Fatalf("NumBlocks = %d, want 5", s.NumBlocks())
+			}
+			for a := Addr(0); a < 5; a++ {
+				if s.Len(a) != 0 {
+					t.Fatalf("fresh block %d has length %d", a, s.Len(a))
+				}
+			}
+
+			full := []Item{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+			partial := []Item{{7, 70}, {8, 80}}
+			s.Write(1, full)
+			s.Write(2, partial)
+			if s.Len(1) != len(full) || s.Len(2) != len(partial) {
+				t.Fatalf("lengths (%d, %d), want (%d, %d)", s.Len(1), s.Len(2), len(full), len(partial))
+			}
+
+			// Reads with an ample caller buffer return the stored prefix and
+			// alias the buffer (no allocation).
+			buf := make([]Item, 0, b)
+			got := s.ReadInto(1, buf)
+			if len(got) != len(full) {
+				t.Fatalf("ReadInto(1) returned %d items, want %d", len(got), len(full))
+			}
+			if &got[0] != &buf[:1][0] {
+				t.Errorf("ReadInto with ample buffer did not alias it")
+			}
+			if eng.hasData {
+				for i := range full {
+					if got[i] != full[i] {
+						t.Fatalf("block 1 item %d = %v, want %v", i, got[i], full[i])
+					}
+				}
+			} else {
+				for i, it := range got {
+					if it != (Item{}) {
+						t.Fatalf("counting backend returned non-zero item %v at %d", it, i)
+					}
+				}
+			}
+
+			// Undersized buffers still yield a correct result.
+			small := s.ReadInto(1, make([]Item, 0, 1))
+			if len(small) != len(full) {
+				t.Fatalf("ReadInto with small buffer returned %d items, want %d", len(small), len(full))
+			}
+			if eng.hasData && small[3] != full[3] {
+				t.Fatalf("small-buffer read lost data: %v", small)
+			}
+
+			// Overwriting shrinks the stored length; the caller keeps
+			// ownership of the written slice.
+			src := []Item{{9, 90}}
+			s.Write(1, src)
+			src[0].Key = 99
+			if s.Len(1) != 1 {
+				t.Fatalf("overwritten block length %d, want 1", s.Len(1))
+			}
+			if eng.hasData {
+				if got := s.ReadInto(1, buf); got[0].Key != 9 {
+					t.Fatalf("mutating the Write argument leaked into storage: %v", got[0])
+				}
+			}
+
+			// Empty write empties the block.
+			s.Write(1, nil)
+			if s.Len(1) != 0 || len(s.ReadInto(1, buf)) != 0 {
+				t.Fatalf("empty Write left length %d", s.Len(1))
+			}
+		})
+	}
+}
+
+// TestMachineOnEveryBackend runs an identical costed I/O script on a
+// machine over each backend and demands identical Stats, Cost and phase
+// accounting — the cost model must be engine-independent.
+func TestMachineOnEveryBackend(t *testing.T) {
+	cfg := Config{M: 16, B: 4, Omega: 3}
+	script := func(ma *Machine) {
+		a := ma.Alloc(4)
+		ma.Poke(a, []Item{{1, 0}, {2, 0}})
+		buf := make([]Item, 0, cfg.B)
+		ma.SetPhase("copy")
+		for i := 0; i < 3; i++ {
+			got := ma.ReadInto(a, buf)
+			ma.Write(a+1+Addr(i), got)
+		}
+		ma.SetPhase("main")
+		ma.ReadInto(a+1, buf)
+	}
+
+	var ref *Machine
+	for _, eng := range engines(cfg.B) {
+		ma := NewWithStorage(cfg, eng.make())
+		script(ma)
+		if ref == nil {
+			ref = ma
+			continue
+		}
+		if ma.Stats() != ref.Stats() {
+			t.Errorf("%T stats %+v differ from reference %+v", ma.Storage(), ma.Stats(), ref.Stats())
+		}
+		if ma.Cost() != ref.Cost() {
+			t.Errorf("%T cost %d differs from reference %d", ma.Storage(), ma.Cost(), ref.Cost())
+		}
+		if ma.Phases().Phase("copy") != ref.Phases().Phase("copy") {
+			t.Errorf("%T phase accounting differs", ma.Storage())
+		}
+		if ma.NumBlocks() != ref.NumBlocks() {
+			t.Errorf("%T allocated %d blocks, reference %d", ma.Storage(), ma.NumBlocks(), ref.NumBlocks())
+		}
+	}
+}
+
+// TestVectorPipelineOnDataBackends pushes a Load → Scanner → Writer
+// pipeline through the data-bearing backends and checks values and I/O
+// counts agree; the counting backend must agree on the I/O counts.
+func TestVectorPipelineOnDataBackends(t *testing.T) {
+	cfg := Config{M: 32, B: 4, Omega: 2}
+	const n = 41 // deliberately not block-aligned
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: int64(n - i), Aux: int64(i)}
+	}
+
+	type outcome struct {
+		stats Stats
+		data  []Item
+	}
+	outcomes := map[string]outcome{}
+	for _, eng := range engines(cfg.B) {
+		ma := NewWithStorage(cfg, eng.make())
+		v := Load(ma, items)
+		out := NewVector(ma, n)
+		sc := v.NewScanner()
+		w := out.NewWriter()
+		for {
+			it, ok := sc.Next()
+			if !ok {
+				break
+			}
+			w.Append(it)
+		}
+		sc.Close()
+		w.Close()
+		outcomes[eng.name] = outcome{stats: ma.Stats(), data: out.Materialize()}
+
+		if eng.hasData {
+			got := out.Materialize()
+			for i := range items {
+				if got[i] != items[i] {
+					t.Fatalf("%s: copy-through broke at %d: %v != %v", eng.name, i, got[i], items[i])
+				}
+			}
+		}
+	}
+	if outcomes["slice"].stats != outcomes["arena"].stats ||
+		outcomes["slice"].stats != outcomes["counting"].stats {
+		t.Errorf("backends disagree on I/O counts: slice=%+v arena=%+v counting=%+v",
+			outcomes["slice"].stats, outcomes["arena"].stats, outcomes["counting"].stats)
+	}
+	want := Stats{Reads: int64(cfg.BlocksOf(n)), Writes: int64(cfg.BlocksOf(n))}
+	if outcomes["slice"].stats != want {
+		t.Errorf("pipeline stats %+v, want %+v", outcomes["slice"].stats, want)
+	}
+}
+
+// TestArenaZeroAllocReadPath is the regression guard for the tentpole
+// claim: on the arena engine, a costed ReadInto with a capacity-B buffer
+// performs zero allocations, end to end through the Machine.
+func TestArenaZeroAllocReadPath(t *testing.T) {
+	cfg := Config{M: 64, B: 8, Omega: 4}
+	ma := NewWithStorage(cfg, NewArenaStorage(cfg.B))
+	a := ma.Alloc(16)
+	blk := make([]Item, cfg.B)
+	for i := 0; i < 16; i++ {
+		ma.Poke(a+Addr(i), blk)
+	}
+	buf := make([]Item, 0, cfg.B)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		got := ma.ReadInto(a+Addr(i%16), buf)
+		ma.Write(a+Addr((i+1)%16), got)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("arena ReadInto+Write path allocates %.1f times per I/O pair, want 0", allocs)
+	}
+}
+
+// TestScannerZeroAllocSteadyState checks the migrated Vector read path:
+// after construction, scanning allocates nothing regardless of backend.
+func TestScannerZeroAllocSteadyState(t *testing.T) {
+	cfg := Config{M: 64, B: 8, Omega: 4}
+	for _, eng := range engines(cfg.B) {
+		t.Run(eng.name, func(t *testing.T) {
+			ma := NewWithStorage(cfg, eng.make())
+			v := Load(ma, make([]Item, 1024))
+			sc := v.NewScanner()
+			defer sc.Close()
+			allocs := testing.AllocsPerRun(100, func() {
+				for j := 0; j < 8; j++ {
+					if _, ok := sc.Next(); !ok {
+						return
+					}
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("scanner steady state allocates %.1f per block, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestNewWithStorageRejectsUsedEngine pins the constructor contract.
+func TestNewWithStorageRejectsUsedEngine(t *testing.T) {
+	s := NewArenaStorage(4)
+	s.Alloc(1)
+	defer expectPanic(t, "already holds")
+	NewWithStorage(Config{M: 16, B: 4, Omega: 1}, s)
+}
+
+// TestNewWithStorageRejectsUndersizedArena: a stride/B mismatch must fail
+// at construction, not at the first large write mid-algorithm.
+func TestNewWithStorageRejectsUndersizedArena(t *testing.T) {
+	defer expectPanic(t, "block capacity 4 < B = 8")
+	NewWithStorage(Config{M: 64, B: 8, Omega: 1}, NewArenaStorage(4))
+}
+
+// TestArenaOversizedWritePanics pins the arena's stride guard (the
+// machine checks B first, so this exercises the engine directly).
+func TestArenaOversizedWritePanics(t *testing.T) {
+	s := NewArenaStorage(2)
+	s.Alloc(1)
+	defer expectPanic(t, "exceed stride")
+	s.Write(0, make([]Item, 3))
+}
+
+// TestBackendGrowth exercises interleaved Alloc/Write/ReadInto over
+// enough blocks to force arena regrowth, then verifies every block.
+func TestBackendGrowth(t *testing.T) {
+	const b = 4
+	for _, eng := range engines(b) {
+		t.Run(eng.name, func(t *testing.T) {
+			s := eng.make()
+			var want [][]Item
+			for round := 0; round < 50; round++ {
+				base := s.Alloc(3)
+				for i := 0; i < 3; i++ {
+					items := make([]Item, (round+i)%(b+1))
+					for j := range items {
+						items[j] = Item{Key: int64(round), Aux: int64(i*10 + j)}
+					}
+					s.Write(base+Addr(i), items)
+					want = append(want, items)
+				}
+			}
+			buf := make([]Item, 0, b)
+			for a, items := range want {
+				got := s.ReadInto(Addr(a), buf)
+				if len(got) != len(items) {
+					t.Fatalf("block %d length %d, want %d", a, len(got), len(items))
+				}
+				if eng.hasData {
+					for j := range items {
+						if got[j] != items[j] {
+							t.Fatalf("block %d item %d = %v, want %v", a, j, got[j], items[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func ExampleNewWithStorage() {
+	cfg := Config{M: 64, B: 8, Omega: 8}
+	ma := NewWithStorage(cfg, NewArenaStorage(cfg.B))
+	a := ma.Alloc(1)
+	ma.Write(a, []Item{{Key: 1}})
+	buf := make([]Item, 0, cfg.B)
+	fmt.Println(len(ma.ReadInto(a, buf)), ma.Cost())
+	// Output: 1 9
+}

@@ -61,21 +61,34 @@ func (v *Vector) BlockAddr(i int) Addr {
 }
 
 // ReadBlock reads (with cost) the block holding item index i and returns
-// its contents together with the index of the block's first item.
+// its contents together with the index of the block's first item. The
+// returned slice is freshly allocated; hot paths should use ReadBlockInto
+// with a reused buffer.
 func (v *Vector) ReadBlock(i int) (items []Item, first int) {
+	return v.ReadBlockInto(i, nil)
+}
+
+// ReadBlockInto reads (with cost) the block holding item index i into the
+// caller-owned dst buffer, returning the filled prefix and the index of
+// the block's first item. With cap(dst) ≥ B no allocation occurs; the
+// returned slice aliases dst and is overwritten by the caller's next read
+// into the same buffer.
+func (v *Vector) ReadBlockInto(i int, dst []Item) (items []Item, first int) {
 	a := v.BlockAddr(i)
-	return v.ma.Read(a), int(a-v.base) * v.ma.cfg.B
+	return v.ma.ReadInto(a, dst), int(a-v.base) * v.ma.cfg.B
 }
 
 // Materialize returns a copy of the whole vector without costing I/O. For
 // verification in tests and experiment harnesses only.
 func (v *Vector) Materialize() []Item {
-	out := make([]Item, 0, v.n)
+	out := make([]Item, v.n)
+	pos := 0
 	for b := 0; b < v.Blocks(); b++ {
-		out = append(out, v.ma.Peek(v.base+Addr(b))...)
+		got := v.ma.PeekInto(v.base+Addr(b), out[pos:pos:len(out)])
+		pos += len(got)
 	}
-	if len(out) != v.n {
-		panic(fmt.Sprintf("aem: Materialize: vector holds %d items, expected %d", len(out), v.n))
+	if pos != v.n {
+		panic(fmt.Sprintf("aem: Materialize: vector holds %d items, expected %d", pos, v.n))
 	}
 	return out
 }
@@ -110,11 +123,14 @@ func (v *Vector) Shrink(n int) *Vector {
 
 // Scanner reads a vector sequentially, one block at a time, costing one
 // read I/O per block boundary crossed. It reserves B slots of internal
-// memory for its current block; call Close to release them.
+// memory for its current block; call Close to release them. The block
+// frame is allocated once at construction, so scanning performs no
+// allocation per I/O.
 type Scanner struct {
 	v      *Vector
 	pos    int    // index of next item to return
-	buf    []Item // current block contents
+	frame  []Item // owned buffer of capacity B
+	buf    []Item // current block contents (aliases frame)
 	bufLo  int    // index of buf[0] within the vector
 	closed bool
 }
@@ -122,7 +138,7 @@ type Scanner struct {
 // NewScanner returns a scanner positioned at the start of v.
 func (v *Vector) NewScanner() *Scanner {
 	v.ma.Reserve(v.ma.cfg.B)
-	return &Scanner{v: v, bufLo: -1}
+	return &Scanner{v: v, frame: make([]Item, 0, v.ma.cfg.B), bufLo: -1}
 }
 
 // Next returns the next item. ok is false when the vector is exhausted.
@@ -131,7 +147,7 @@ func (s *Scanner) Next() (item Item, ok bool) {
 		return Item{}, false
 	}
 	if s.bufLo < 0 || s.pos >= s.bufLo+len(s.buf) {
-		s.buf, s.bufLo = s.v.ReadBlock(s.pos)
+		s.buf, s.bufLo = s.v.ReadBlockInto(s.pos, s.frame)
 	}
 	item = s.buf[s.pos-s.bufLo]
 	s.pos++

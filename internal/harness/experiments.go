@@ -18,7 +18,7 @@ import (
 // Seed is the deterministic seed all experiments derive their inputs from.
 const Seed = 20170724 // SPAA 2017 started July 24
 
-// All returns every experiment in DESIGN.md's index order.
+// All returns every experiment in the README.md ("Experiments") index order.
 func All() []Experiment {
 	return []Experiment{
 		{ID: "EXP-M1", Title: "ωm-way merge cost (Theorem 3.2)",

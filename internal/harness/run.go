@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Run executes the given experiments on a worker pool of at most par
+// concurrent goroutines and calls emit exactly once per experiment, in the
+// order of exps, as soon as each table and all of its predecessors are
+// ready. Every experiment owns its private machine and derives its inputs
+// from fixed seeds, so they are embarrassingly parallel and the emitted
+// tables are identical for every par — parallelism changes wall-clock
+// time, never output. par < 1 is treated as 1.
+//
+// If an experiment panics, Run waits for the in-flight workers and then
+// re-panics with the experiment's ID attached.
+func Run(exps []Experiment, par int, emit func(*Table)) {
+	if par < 1 {
+		par = 1
+	}
+	if len(exps) == 0 {
+		return
+	}
+
+	type result struct {
+		tbl   *Table
+		panic interface{}
+	}
+	results := make([]chan result, len(exps))
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					results[i] <- result{panic: fmt.Sprintf("harness: experiment %s: %v", e.ID, r)}
+				}
+			}()
+			results[i] <- result{tbl: e.Run()}
+		}(i, e)
+	}
+
+	var failure interface{}
+	for i := range exps {
+		r := <-results[i]
+		if r.panic != nil {
+			if failure == nil {
+				failure = r.panic
+			}
+			continue
+		}
+		if failure == nil {
+			emit(r.tbl)
+		}
+	}
+	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
+}
+
+// RunAll runs every experiment at the given parallelism and returns the
+// tables in All()'s order.
+func RunAll(par int) []*Table {
+	var tables []*Table
+	Run(All(), par, func(t *Table) { tables = append(tables, t) })
+	return tables
+}

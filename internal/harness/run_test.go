@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunEmitsInOrder: emission order must be input order even when later
+// experiments finish first.
+func TestRunEmitsInOrder(t *testing.T) {
+	const n = 8
+	exps := make([]Experiment, n)
+	for i := range exps {
+		i := i
+		exps[i] = Experiment{
+			ID: fmt.Sprintf("T-%d", i),
+			Run: func() *Table {
+				time.Sleep(time.Duration(n-i) * time.Millisecond) // earlier = slower
+				return &Table{ID: fmt.Sprintf("T-%d", i)}
+			},
+		}
+	}
+	var got []string
+	Run(exps, n, func(tbl *Table) { got = append(got, tbl.ID) })
+	for i, id := range got {
+		if want := fmt.Sprintf("T-%d", i); id != want {
+			t.Fatalf("emission %d = %s, want %s (full order %v)", i, id, want, got)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d tables, want %d", len(got), n)
+	}
+}
+
+// TestRunBoundsConcurrency: no more than par experiments may run at once.
+func TestRunBoundsConcurrency(t *testing.T) {
+	const n, par = 12, 3
+	var inFlight, peak int64
+	exps := make([]Experiment, n)
+	for i := range exps {
+		exps[i] = Experiment{
+			ID: fmt.Sprintf("T-%d", i),
+			Run: func() *Table {
+				cur := atomic.AddInt64(&inFlight, 1)
+				for {
+					old := atomic.LoadInt64(&peak)
+					if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				atomic.AddInt64(&inFlight, -1)
+				return &Table{}
+			},
+		}
+	}
+	Run(exps, par, func(*Table) {})
+	if p := atomic.LoadInt64(&peak); p > par {
+		t.Fatalf("observed %d concurrent experiments, budget %d", p, par)
+	}
+}
+
+// TestRunPanicPropagates: a panicking experiment must not deadlock the
+// pool, and the panic must surface with the experiment's ID.
+func TestRunPanicPropagates(t *testing.T) {
+	exps := []Experiment{
+		{ID: "OK-1", Run: func() *Table { return &Table{} }},
+		{ID: "BOOM", Run: func() *Table { panic("kaput") }},
+		{ID: "OK-2", Run: func() *Table { return &Table{} }},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "BOOM") || !strings.Contains(msg, "kaput") {
+			t.Fatalf("panic %q lacks experiment context", msg)
+		}
+	}()
+	Run(exps, 2, func(*Table) {})
+}
+
+// TestParallelHarnessDeterminism renders a set of real experiments at
+// par=1 and par=8 and demands byte-identical output — the acceptance
+// criterion behind aembench's -par flag. Fast, bounds-oriented
+// experiments keep the test snappy; every experiment derives its inputs
+// from fixed seeds, so any divergence means shared mutable state.
+func TestParallelHarnessDeterminism(t *testing.T) {
+	ids := []string{"EXP-B1", "EXP-P2", "EXP-F2", "EXP-R1"}
+	var exps []Experiment
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		exps = append(exps, e)
+	}
+	render := func(par int) []byte {
+		var buf bytes.Buffer
+		Run(exps, par, func(tbl *Table) { tbl.Render(&buf) })
+		return buf.Bytes()
+	}
+	seq := render(1)
+	parl := render(8)
+	if !bytes.Equal(seq, parl) {
+		t.Fatalf("par=1 and par=8 outputs differ:\n--- par=1 ---\n%s\n--- par=8 ---\n%s", seq, parl)
+	}
+	if len(seq) == 0 {
+		t.Fatal("experiments rendered nothing")
+	}
+}
+
+// TestRunAllCoversEveryExperiment: RunAll returns one table per registered
+// experiment, in index order.
+func TestRunAllCoversEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is multi-second")
+	}
+	tables := RunAll(8)
+	all := All()
+	if len(tables) != len(all) {
+		t.Fatalf("RunAll returned %d tables for %d experiments", len(tables), len(all))
+	}
+	for i, tbl := range tables {
+		if tbl.ID != all[i].ID {
+			t.Errorf("table %d is %s, want %s", i, tbl.ID, all[i].ID)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s produced no rows", tbl.ID)
+		}
+	}
+}

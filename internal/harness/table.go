@@ -1,9 +1,10 @@
 // Package harness runs the repository's experiments: one per theorem,
-// lemma or claim of the paper (the experiment index lives in DESIGN.md).
+// lemma or claim of the paper (the experiment index lives in README.md,
+// "Experiments").
 // Each experiment sweeps a parameter range on the AEM simulator, measures
 // I/O costs, evaluates the paper's predicted bound at the same points, and
 // emits a table of measured-vs-predicted values. Tables render as aligned
-// text (for the terminal and EXPERIMENTS.md) and as CSV (for plotting).
+// text (for the terminal and recorded results) and as CSV (for plotting).
 package harness
 
 import (

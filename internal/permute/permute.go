@@ -59,6 +59,7 @@ func Direct(ma *aem.Machine, v *aem.Vector, perm []int) *aem.Vector {
 
 	outBuf := make([]aem.Item, b)
 	filled := make([]bool, b)
+	frame := make([]aem.Item, 0, b) // reused input-block frame
 	for lo := 0; lo < n; lo += b {
 		hi := lo + b
 		if hi > n {
@@ -73,7 +74,7 @@ func Direct(ma *aem.Machine, v *aem.Vector, perm []int) *aem.Vector {
 			if filled[k-lo] {
 				continue // already gathered from a previously read block
 			}
-			items, first := v.ReadBlock(source[k])
+			items, first := v.ReadBlockInto(source[k], frame)
 			for kk := lo; kk < hi; kk++ {
 				if off := source[kk] - first; off >= 0 && off < len(items) {
 					outBuf[kk-lo] = items[off]

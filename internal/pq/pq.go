@@ -4,7 +4,7 @@
 //
 // The paper's §1.1 cites the heapsort of Blelloch et al. [7] as achieving
 // O(ω·n·log_{ωm} n) unconditionally; that construction's details are not
-// in this paper and are out of scope (see DESIGN.md). This package
+// in this paper and are out of scope (see README.md, "Scope"). This package
 // provides the *classic external-memory sequence heap* run on the AEM
 // machine — cost Θ((1+ω)·n·log_m n) for a full insert/delete lifetime —
 // serving two roles: a genuinely useful substrate (interleaved
@@ -47,11 +47,13 @@ type Queue struct {
 }
 
 // run is a sorted on-disk run with a frontier cursor and a lazily loaded
-// resident block frame.
+// resident block frame. frameBuf is the run's owned block buffer, created
+// on the first load and reused for every subsequent frontier read.
 type run struct {
 	vec      *aem.Vector
 	consumed int // items already handed to the deletion buffer
 	frame    []aem.Item
+	frameBuf []aem.Item
 	frameLo  int
 }
 
@@ -300,7 +302,10 @@ func (q *Queue) loadFrontier(r *run) {
 	if r.frameLo >= 0 && r.consumed >= r.frameLo && r.consumed < r.frameLo+len(r.frame) {
 		return
 	}
-	r.frame, r.frameLo = r.vec.ReadBlock(r.consumed)
+	if r.frameBuf == nil {
+		r.frameBuf = make([]aem.Item, 0, q.cfg.B)
+	}
+	r.frame, r.frameLo = r.vec.ReadBlockInto(r.consumed, r.frameBuf)
 }
 
 // insertSorted inserts it into the ascending slice.

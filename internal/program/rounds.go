@@ -61,8 +61,9 @@ func CheckRoundBased(p *Program, minCost, maxCost int64) error {
 // the internal memory contents (the M′ half) are written to fresh
 // snapshot blocks; the next round begins by reading the snapshot back.
 //
-// Deviation from the paper, documented in DESIGN.md: the lemma's prose
-// deletes M′ at round end without saying where its contents go, but a
+// Deviation from the paper (see README.md, "Deviations from the paper"):
+// the lemma's prose deletes M′ at round end without saying where its
+// contents go, but a
 // round-based program needs them on external memory to restore them. We
 // write the snapshot explicitly (≤ m block writes per round), which keeps
 // every round's cost ≤ ω·m₂ + m₂ on the doubled machine (m₂ = 2m) and the

@@ -92,9 +92,11 @@ type ptrChange struct {
 // externalPointers keeps b[i] in ⌈K/B⌉ blocks of external memory,
 // following §3.1: each pointer is updated on disk only when it changes,
 // i.e. at most once per consumed block of its run, for O(n) pointer writes
-// across the whole merge.
+// across the whole merge. The pointer-block frame is allocated once and
+// reused for every pointer I/O.
 type externalPointers struct {
-	pv *aem.Vector
+	pv    *aem.Vector
+	frame []aem.Item
 }
 
 func newExternalPointers(ma *aem.Machine, k int) *externalPointers {
@@ -104,7 +106,7 @@ func newExternalPointers(ma *aem.Machine, k int) *externalPointers {
 		w.Append(aem.Item{Key: 0, Aux: int64(i)})
 	}
 	w.Close()
-	return &externalPointers{pv: pv}
+	return &externalPointers{pv: pv, frame: make([]aem.Item, 0, ma.Config().B)}
 }
 
 func (e *externalPointers) forEach(fn func(run, bptr int)) {
@@ -114,7 +116,7 @@ func (e *externalPointers) forEach(fn func(run, bptr int)) {
 		// Only the pointer-block I/O itself is labeled "pointers"; the
 		// callback's data I/O keeps the caller's phase.
 		prev := ma.SetPhase("pointers")
-		entries, first := e.pv.ReadBlock(blk * b)
+		entries, first := e.pv.ReadBlockInto(blk*b, e.frame)
 		ma.SetPhase(prev)
 		for off, ent := range entries {
 			fn(first+off, int(ent.Key))
@@ -127,7 +129,7 @@ func (e *externalPointers) update(changes []ptrChange) {
 	b := e.pv.Machine().Config().B
 	for i := 0; i < len(changes); {
 		blk := changes[i].run / b
-		entries, first := e.pv.ReadBlock(blk * b)
+		entries, first := e.pv.ReadBlockInto(blk*b, e.frame)
 		dirty := false
 		for ; i < len(changes) && changes[i].run/b == blk; i++ {
 			ent := &entries[changes[i].run-first]
@@ -283,9 +285,11 @@ func mergeRuns(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions, externalP
 	// output.
 	mu := mergeEntry{it: minItem, run: -1, idx: -1}
 	mbuf := make([]mergeEntry, 0, capM)
+	spare := make([]mergeEntry, 0, capM) // double buffer for mergeEntries
 	scratch := make([]mergeEntry, 0, capM)
 	active := make([]activeRun, 0, capM/b+2)
-	maxActive := capM/b + 1 // Lemma 3.1: at most ⌈capM/B⌉ runs stay active
+	frame := make([]aem.Item, 0, b) // reused data-block frame, one per merge
+	maxActive := capM/b + 1         // Lemma 3.1: at most ⌈capM/B⌉ runs stay active
 
 	runBlocks := func(r int) int { return cfg.BlocksOf(runs[r].Len()) }
 
@@ -296,7 +300,7 @@ func mergeRuns(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions, externalP
 		if bi >= runBlocks(r) {
 			return mergeEntry{}, false
 		}
-		items, first := runs[r].ReadBlock(bi * b)
+		items, first := runs[r].ReadBlockInto(bi*b, frame)
 		scratch = scratch[:0]
 		for off, it := range items {
 			e := mergeEntry{it: it, run: int32(r), idx: int64(first + off)}
@@ -304,7 +308,12 @@ func mergeRuns(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions, externalP
 				scratch = append(scratch, e)
 			}
 		}
-		mbuf = mergeEntries(mbuf, scratch, capM)
+		old := mbuf
+		var intoSpare bool
+		mbuf, intoSpare = mergeEntries(spare[:0], mbuf, scratch, capM)
+		if intoSpare {
+			spare = old // old buffer becomes the next call's destination
+		}
 		return mergeEntry{it: items[len(items)-1], run: int32(r), idx: int64(first + len(items) - 1)}, true
 	}
 
@@ -333,7 +342,7 @@ func mergeRuns(ma *aem.Machine, runs []*aem.Vector, opts MergeOptions, externalP
 			if bptr+2 >= runBlocks(run) {
 				return // no blocks beyond the initialization reads
 			}
-			items, first := runs[run].ReadBlock((bptr + 1) * b)
+			items, first := runs[run].ReadBlockInto((bptr+1)*b, frame)
 			last := mergeEntry{it: items[len(items)-1], run: int32(run), idx: int64(first + len(items) - 1)}
 			if full && entryLess(bufMax, last) {
 				return // inactive: everything unread is above the buffer
@@ -416,36 +425,31 @@ func changesFromBuffer(mbuf []mergeEntry, b int) []ptrChange {
 	return changes
 }
 
-// mergeEntries merges two ascending entry slices into one, retaining at
-// most capacity entries (the largest are dropped — they remain unconsumed
-// on disk and will be re-read in a later round, which is the re-read the
-// paper charges one block per run per round for).
-func mergeEntries(a, cand []mergeEntry, capacity int) []mergeEntry {
+// mergeEntries merges two ascending entry slices into dst (a caller-owned
+// empty buffer of capacity ≥ capacity), retaining at most capacity entries
+// (the largest are dropped — they remain unconsumed on disk and will be
+// re-read in a later round, which is the re-read the paper charges one
+// block per run per round for). When no merge is needed it returns a
+// unchanged with usedDst false; otherwise the result aliases dst and
+// usedDst is true, so the caller can recycle a's storage.
+func mergeEntries(dst, a, cand []mergeEntry, capacity int) (merged []mergeEntry, usedDst bool) {
 	if len(cand) == 0 {
-		return a
+		return a, false
 	}
 	if len(a) == capacity && !entryLess(cand[0], a[len(a)-1]) {
-		return a // every candidate is above the full buffer
+		return a, false // every candidate is above the full buffer
 	}
-	merged := make([]mergeEntry, 0, min(len(a)+len(cand), capacity))
 	i, j := 0, 0
-	for len(merged) < capacity && (i < len(a) || j < len(cand)) {
+	for len(dst) < capacity && (i < len(a) || j < len(cand)) {
 		if j >= len(cand) || (i < len(a) && entryLess(a[i], cand[j])) {
-			merged = append(merged, a[i])
+			dst = append(dst, a[i])
 			i++
 		} else {
-			merged = append(merged, cand[j])
+			dst = append(dst, cand[j])
 			j++
 		}
 	}
-	return merged
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return dst, true
 }
 
 // reducer streams items to a writer, optionally combining consecutive

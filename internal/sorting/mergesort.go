@@ -121,10 +121,12 @@ func EMMergeSort(ma *aem.Machine, v *aem.Vector) *aem.Vector {
 func emSortChunk(ma *aem.Machine, v *aem.Vector) *aem.Vector {
 	cfg := ma.Config()
 	ma.Reserve(v.Len())
+	// Each block is read straight into the chunk buffer's spare capacity:
+	// no per-block allocation.
 	buf := make([]aem.Item, 0, v.Len())
 	for b := 0; b < cfg.BlocksOf(v.Len()); b++ {
-		items, _ := v.ReadBlock(b * cfg.B)
-		buf = append(buf, items...)
+		items, _ := v.ReadBlockInto(b*cfg.B, buf[len(buf):len(buf):cap(buf)])
+		buf = buf[:len(buf)+len(items)]
 	}
 	sortItems(buf)
 	out := aem.NewVector(ma, v.Len())

@@ -17,7 +17,7 @@ import (
 // The paper's §1.1 notes that the *write-efficient* sample sort of
 // Blelloch et al. [7] achieves O(ω·n·log_{ωm} n) unconditionally; that
 // construction's details are not in this paper and are out of scope here
-// (see DESIGN.md) — the ω-optimal sorter in this repository is the §3
+// (see README.md, "Scope") — the ω-optimal sorter in this repository is the §3
 // mergesort. This baseline's fanout is memory-bound (one block buffer per
 // bucket), which is precisely why a distribution sort cannot reach ωm-way
 // fanout naively: ωm bucket buffers would need ωM > M memory.
@@ -132,10 +132,10 @@ func pickSplitters(ma *aem.Machine, v *aem.Vector, rng *workload.RNG, f int) []a
 	}
 	ma.Reserve(s)
 	sample := make([]aem.Item, 0, s)
+	frame := make([]aem.Item, 0, ma.Config().B)
 	for i := 0; i < s; i++ {
-		blk, first := v.ReadBlock(rng.Intn(v.Len()))
+		blk, _ := v.ReadBlockInto(rng.Intn(v.Len()), frame)
 		sample = append(sample, blk[rng.Intn(len(blk))])
-		_ = first
 	}
 	sortItems(sample)
 	splitters := make([]aem.Item, 0, f-1)

@@ -120,8 +120,13 @@ func Naive(ma *aem.Machine, m *Matrix, x *aem.Vector) *aem.Vector {
 	w := y.NewWriter()
 	defer w.Close()
 
-	var eBlk [2][]aem.Item // two-frame LRU for the entry stream
+	// Two-frame LRU for the entry stream plus one x frame, each backed by
+	// its own reused buffer: an eviction hands the victim's buffer to the
+	// incoming block, so the steady state allocates nothing per I/O.
+	eFrames := [2][]aem.Item{make([]aem.Item, 0, cfg.B), make([]aem.Item, 0, cfg.B)}
+	var eBlk [2][]aem.Item
 	eLo := [2]int{-1, -1}
+	xFrame := make([]aem.Item, 0, cfg.B)
 	var xBlk []aem.Item
 	xLo := -1
 	for row := 0; row < conf.N; row++ {
@@ -136,13 +141,14 @@ func Naive(ma *aem.Machine, m *Matrix, x *aem.Vector) *aem.Vector {
 				}
 			}
 			if f < 0 {
+				eFrames[0], eFrames[1] = eFrames[1], eFrames[0]
 				eBlk[1], eLo[1] = eBlk[0], eLo[0]
-				eBlk[0], eLo[0] = m.Entries.ReadBlock(pos)
+				eBlk[0], eLo[0] = m.Entries.ReadBlockInto(pos, eFrames[0])
 				f = 0
 			}
 			a := eBlk[f][pos-eLo[f]].Aux
 			if xLo < 0 || int(c) < xLo || int(c) >= xLo+len(xBlk) {
-				xBlk, xLo = x.ReadBlock(int(c))
+				xBlk, xLo = x.ReadBlockInto(int(c), xFrame)
 			}
 			sum += a * xBlk[int(c)-xLo].Aux
 		}
@@ -279,13 +285,14 @@ func productsBlockRuns(ma *aem.Machine, m *Matrix, x *aem.Vector) []*aem.Vector 
 	sorted := aem.NewVector(ma, h)
 	ma.Reserve(cfg.B)
 	defer ma.Release(cfg.B)
+	frame := make([]aem.Item, 0, cfg.B)
 	runs := make([]*aem.Vector, 0, cfg.BlocksOf(h))
 	for lo := 0; lo < h; lo += cfg.B {
 		hi := lo + cfg.B
 		if hi > h {
 			hi = h
 		}
-		blk, _ := prod.ReadBlock(lo)
+		blk, _ := prod.ReadBlockInto(lo, frame)
 		sortItemsInPlace(blk)
 		ma.Write(sorted.BlockAddr(lo), blk)
 		runs = append(runs, sorted.Slice(lo, hi))

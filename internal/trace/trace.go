@@ -93,8 +93,9 @@ func (c Conversion) Factor() float64 {
 // each ω(m−1)-budget segment, writes are buffered (deferred to the round
 // end) and reads of a block written earlier in the same round are free;
 // each round boundary flushes the buffered writes and writes/reads an
-// m-block memory snapshot (the deviation documented in DESIGN.md §3 —
-// the lemma's prose drops the snapshot, a valid program cannot).
+// m-block memory snapshot (the deviation documented in README.md under
+// "Deviations from the paper" — the lemma's prose drops the snapshot, a
+// valid program cannot).
 //
 // The returned cost is exact for the given trace; Lemma 4.1 guarantees it
 // is O(1)× the original, which EXP-R2 measures on real executions.
