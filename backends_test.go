@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/aem"
+	"repro/internal/dict"
 	"repro/internal/permute"
 	"repro/internal/pq"
 	"repro/internal/sorting"
@@ -78,6 +79,47 @@ func TestAlgorithmsIdenticalAcrossDataBackends(t *testing.T) {
 			m := spmxv.NewMatrix(ma, conf, values)
 			return spmxv.SortBased(ma, m, spmxv.LoadDense(ma, x)).Materialize()
 		}},
+		{"spmxv-banded", func(ma *aem.Machine) []aem.Item {
+			banded := workload.BandedConformation(256, 3)
+			m := spmxv.NewMatrix(ma, banded, values[:banded.H()])
+			return spmxv.Naive(ma, m, spmxv.LoadDense(ma, x)).Materialize()
+		}},
+		{"permute-best", func(ma *aem.Machine) []aem.Item {
+			out, _ := permute.Best(ma, aem.Load(ma, items), perm)
+			return out.Materialize()
+		}},
+		{"pq-interleaved", func(ma *aem.Machine) []aem.Item {
+			// Interleaved Push/DeleteMin lifecycle, not just the HeapSort
+			// wrapper: the queue's run compactions must be byte-identical
+			// across engines too.
+			q := pq.New(ma)
+			var out []aem.Item
+			for i, it := range in[:1024] {
+				q.Push(it)
+				if i%3 == 2 {
+					got, ok := q.DeleteMin()
+					if !ok {
+						panic("pq: empty during interleave")
+					}
+					out = append(out, got)
+				}
+			}
+			for {
+				got, ok := q.DeleteMin()
+				if !ok {
+					break
+				}
+				out = append(out, got)
+			}
+			q.Close()
+			return out
+		}},
+		{"dict-buffertree", func(ma *aem.Machine) []aem.Item {
+			return dictConformanceRun(dict.NewBufferTree(ma))
+		}},
+		{"dict-btree", func(ma *aem.Machine) []aem.Item {
+			return dictConformanceRun(dict.NewBTree(ma))
+		}},
 	}
 
 	for _, alg := range algs {
@@ -120,6 +162,29 @@ func TestAlgorithmsIdenticalAcrossDataBackends(t *testing.T) {
 			}
 		})
 	}
+}
+
+// dictConformanceRun drives a dictionary through a mixed op stream and
+// serializes its answers and final contents as items, so dictionary runs
+// plug into the same output-and-Stats conformance harness as the bulk
+// algorithms.
+func dictConformanceRun(d dict.Dict) []aem.Item {
+	ops := workload.DictOps(workload.NewRNG(81), workload.UniformOps, 6000, 1024)
+	var out []aem.Item
+	for _, res := range d.Apply(ops) {
+		if res.OK {
+			out = append(out, aem.Item{Key: 1, Aux: res.Value})
+		}
+		for _, hit := range res.Hits {
+			out = append(out, aem.Item{Key: hit.Key, Aux: hit.Value})
+		}
+	}
+	d.Flush()
+	final := d.Apply([]dict.Op{{Kind: dict.RangeScan, Key: 0, Hi: 1 << 30}})
+	for _, hit := range final[0].Hits {
+		out = append(out, aem.Item{Key: hit.Key, Aux: hit.Value})
+	}
+	return out
 }
 
 // TestCountingBackendMatchesObliviousPrograms: programs whose I/O schedule

@@ -30,10 +30,10 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 1<<14, "input size")
-		m     = flag.Int("m", 512, "internal memory M in items")
-		b     = flag.Int("b", 16, "block size B in items")
-		omega = flag.Int("omega", 8, "write/read cost ratio ω")
+		n      = flag.Int("n", 1<<14, "input size")
+		m      = flag.Int("m", 512, "internal memory M in items")
+		b      = flag.Int("b", 16, "block size B in items")
+		omega  = flag.Int("omega", 8, "write/read cost ratio ω")
 		alg    = flag.String("alg", "aem", "algorithm: aem | em | sample | heap | spmxv-naive | spmxv-sort")
 		seed   = flag.Uint64("seed", 1, "workload seed")
 		stream = flag.String("stream", "", "stream the trace to this file instead of analyzing it in memory")

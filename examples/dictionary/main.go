@@ -1,0 +1,58 @@
+// Dictionary: run an online insert/delete/lookup workload through the
+// ω-adaptive buffer tree and the unbatched B-tree on the same asymmetric
+// machine, and watch write buffering pay for itself.
+//
+//	go run ./examples/dictionary
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+	"repro/internal/dict"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Writes cost 32× reads — the regime of phase-change memory. The
+	// buffer tree sizes its root buffer as ω·M: the more writes cost, the
+	// longer it batches them.
+	cfg := aem.Config{M: 256, B: 16, Omega: 32}
+
+	// A Zipf-skewed stream: a few hot keys take most of the traffic, as in
+	// real key-value workloads. Overwritten hot keys are absorbed by the
+	// buffers and never reach the leaves at all.
+	const n = 20000
+	ops := workload.DictOps(workload.NewRNG(7), workload.ZipfOps, n, 4096)
+	ins, del, look, rng := workload.OpMix(ops)
+	fmt.Printf("stream: %d ops (%d insert / %d delete / %d lookup / %d range) on a (M=%d, B=%d, ω=%d)-AEM\n\n",
+		n, ins, del, look, rng, cfg.M, cfg.B, cfg.Omega)
+
+	maBuf := aem.New(cfg)
+	buffered := dict.NewBufferTree(maBuf)
+	answersBuf := buffered.Apply(ops)
+
+	maBase := aem.New(cfg)
+	baseline := dict.NewBTree(maBase)
+	answersBase := baseline.Apply(ops)
+
+	// Both dictionaries must answer every query identically.
+	for i := range answersBuf {
+		if answersBuf[i].OK != answersBase[i].OK || answersBuf[i].Value != answersBase[i].Value ||
+			len(answersBuf[i].Hits) != len(answersBase[i].Hits) {
+			panic("dictionaries disagree — simulator bug")
+		}
+	}
+	fmt.Printf("both dictionaries agree on all %d query answers\n\n", len(answersBuf))
+
+	report := func(name string, ma *aem.Machine) {
+		st := ma.Stats()
+		fmt.Printf("%-12s reads %7d  writes %6d  cost Q %8d  (%.2f per op, %.3f writes per op)\n",
+			name, st.Reads, st.Writes, ma.Cost(), float64(ma.Cost())/n, float64(st.Writes)/n)
+	}
+	report("buffer tree", maBuf)
+	report("b-tree", maBase)
+	fmt.Printf("\nthe buffered dictionary is %.1f× cheaper: batched writes land block-granular\n",
+		float64(maBase.Cost())/float64(maBuf.Cost()))
+	fmt.Println("and deferred — the B-tree pays ω for a leaf rewrite on every single update.")
+}

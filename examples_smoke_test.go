@@ -1,0 +1,42 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndRun builds and runs every example program end to
+// end. The examples are main packages, so `go test ./...` alone never
+// executes them; this smoke test keeps them from rotting (stale APIs
+// still fail `go build`, but panics, hangs and wrong-output regressions
+// only show up by running).
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one `go run` per example")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", e.Name()))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", e.Name(), err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", e.Name())
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package bounds
+
+import (
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/dict"
+)
+
+// TestDictFanoutMatchesImplementation pins the predictor's replica of the
+// buffer tree's fan-out choice to the implementation, so the two cannot
+// drift silently.
+func TestDictFanoutMatchesImplementation(t *testing.T) {
+	for _, cfg := range []aem.Config{
+		{M: 64, B: 8, Omega: 1},
+		{M: 256, B: 16, Omega: 16},
+		{M: 32, B: 1, Omega: 8},
+		{M: 128, B: 8, Omega: 64},
+		{M: 1024, B: 32, Omega: 4},
+	} {
+		got := dict.NewBufferTree(aem.New(cfg)).Fanout()
+		if want := DictFanout(cfg); got != want {
+			t.Errorf("cfg %+v: implementation fan-out %d != predictor %d", cfg, got, want)
+		}
+	}
+}
+
+// TestDictPredictionsPositive sanity-checks the formulas across corners:
+// predictions must be positive and finite, and more update traffic must
+// never predict less write I/O.
+func TestDictPredictionsPositive(t *testing.T) {
+	base := DictParams{
+		Params:       Params{N: 10000, Cfg: aem.Config{M: 256, B: 16, Omega: 8}},
+		Updates:      6000,
+		Keyspace:     4096,
+		QueryBatches: [][]int64{{1, 2, 3}, {500, 501}},
+	}
+	small := DictBufferTreePredicted(base)
+	if small.Reads <= 0 || small.Writes <= 0 {
+		t.Fatalf("degenerate prediction %+v", small)
+	}
+	more := base
+	more.Updates *= 4
+	big := DictBufferTreePredicted(more)
+	if big.Writes < small.Writes {
+		t.Errorf("quadrupling updates decreased predicted writes: %.0f → %.0f", small.Writes, big.Writes)
+	}
+	bt := DictBTreePredicted(base)
+	if bt.Writes < float64(base.Updates) {
+		t.Errorf("B-tree predicted writes %.0f below one per update", bt.Writes)
+	}
+}

@@ -1,6 +1,11 @@
 package bounds
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/aem"
+	"repro/internal/dict"
+)
 
 // Predicted upper-bound cost formulas for the algorithms implemented in
 // this repository. Each returns the leading-term expression from the paper
@@ -119,4 +124,151 @@ func SpMxVBestPredicted(p SpMxVParams) PredictedIO {
 		return a
 	}
 	return b
+}
+
+// DictParams describes an online dictionary workload for the cost
+// predictors: N (in the embedded Params) is the total operation count,
+// Updates the Insert/Delete subset, Keyspace the distinct-key domain, and
+// QueryBatches the keys touched by each query burst of the stream in
+// order (a range scan contributes its two endpoints). Batched queries
+// share buffer scans and skewed batches share leaf paths, so the burst
+// structure is part of the predicted cost, exactly as the input length is
+// for sorting — all of it program knowledge in the §2 sense, derived from
+// the stream alone.
+type DictParams struct {
+	Params
+	Updates      int
+	Keyspace     int
+	QueryBatches [][]int64
+}
+
+// DictParamsFor derives the workload description from an actual operation
+// stream, segmenting it exactly as Dict.Apply does: update bursts are
+// counted, query bursts contribute their touched keys.
+func DictParamsFor(cfg aem.Config, ops []dict.Op, keyspace int) DictParams {
+	p := DictParams{
+		Params:   Params{N: len(ops), Cfg: cfg},
+		Keyspace: keyspace,
+	}
+	isUpdate := func(op dict.Op) bool { return op.Kind == dict.Insert || op.Kind == dict.Delete }
+	for i := 0; i < len(ops); {
+		j := i
+		if isUpdate(ops[i]) {
+			for j < len(ops) && isUpdate(ops[j]) {
+				j++
+			}
+			p.Updates += j - i
+		} else {
+			var keys []int64
+			for j < len(ops) && !isUpdate(ops[j]) {
+				keys = append(keys, ops[j].Key)
+				if ops[j].Kind == dict.RangeScan {
+					keys = append(keys, ops[j].Hi-1)
+				}
+				j++
+			}
+			p.QueryBatches = append(p.QueryBatches, keys)
+		}
+		i = j
+	}
+	return p
+}
+
+// DictFanout returns the buffer tree's fan-out d for the machine: ~m,
+// capped so a streaming partition (scan frame + d output frames + d
+// separator keys) fits in internal memory. It mirrors the choice in
+// internal/dict (pinned to it by a cross-package test).
+func DictFanout(cfg aem.Config) int {
+	d := (cfg.M - cfg.B) / (cfg.B + 1)
+	if m := cfg.BlocksInMemory(); d > m {
+		d = m
+	}
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// dictGeometry returns the buffer tree's steady-state shape for the
+// workload: number of leaf runs and node levels. Before the first cascade
+// (fewer than ω·M updates) everything is one root buffer over a single
+// empty leaf.
+func (p DictParams) dictGeometry() (leaves, height float64) {
+	w, M := p.omega(), float64(p.Cfg.M)
+	if float64(p.Updates) < w*M {
+		return 1, 1
+	}
+	live := math.Min(float64(p.Keyspace), float64(p.Updates))
+	leaves = math.Max(1, math.Ceil(live/(M/2)))
+	height = 1 + math.Ceil(logBase(leaves, float64(DictFanout(p.Cfg))))
+	return leaves, height
+}
+
+// DictBufferTreePredicted returns the predicted I/O counts of the
+// ω-adaptive buffer tree on the workload. Writes: every update is
+// appended once (1/B amortized) and each of the F = ⌊U/ωM⌋·ωM updates
+// flushed by a root cascade is rewritten once per level plus once in a
+// leaf-run merge, (H+2)/B amortized. Reads mirror the flush writes, and
+// every query burst scans the root buffer (ω·M/2 items on average — the
+// ω-adaptive term that converts expensive writes into cheap reads) plus
+// one root-to-leaf path of buffers and one leaf run per distinct path.
+func DictBufferTreePredicted(p DictParams) PredictedIO {
+	B, M, w := float64(p.Cfg.B), float64(p.Cfg.M), p.omega()
+	U := float64(p.Updates)
+	rootCap := w * M
+	flushed := math.Floor(U/rootCap) * rootCap
+	leaves, height := p.dictGeometry()
+
+	writes := U/B + flushed*(height+2)/B
+	reads := flushed * (height + 2) / B
+
+	rootAvg := rootCap / 2
+	if flushed == 0 {
+		rootAvg = U / 2
+	}
+	leafRun := M / 2 // average live leaf run ≈ leafCap items
+	nodeBuf := M / 4 // average non-root buffer fill
+	for _, batch := range p.QueryBatches {
+		paths := distinctCells(batch, int64(leaves), int64(p.Keyspace))
+		reads += rootAvg/B + 1 + paths*((leafRun+nodeBuf)/B+3)
+	}
+	return PredictedIO{Reads: reads, Writes: writes}
+}
+
+// distinctCells estimates how many leaf paths a query batch opens: the
+// number of distinct equal-width key cells the batch's keys fall into,
+// modelling a balanced tree over the keyspace. Skewed batches (hot keys)
+// collapse onto few cells — which is exactly why their measured read cost
+// is low.
+func distinctCells(keys []int64, leaves, keyspace int64) float64 {
+	if leaves < 1 {
+		leaves = 1
+	}
+	seen := make(map[int64]struct{}, len(keys))
+	for _, k := range keys {
+		switch {
+		case k < 0:
+			k = 0
+		case k >= keyspace:
+			k = keyspace - 1
+		}
+		seen[k*leaves/keyspace] = struct{}{}
+	}
+	return float64(len(seen))
+}
+
+// DictBTreePredicted returns the predicted I/O counts of the unbatched
+// B-tree baseline: every operation reads a root-to-leaf path of
+// ~log_{B/2} of the live key count blocks, and every update rewrites its
+// leaf block — the ω-oblivious 1 write per update the buffer tree exists
+// to avoid. Splits add ~2 writes per created leaf.
+func DictBTreePredicted(p DictParams) PredictedIO {
+	B := float64(p.Cfg.B)
+	live := math.Min(float64(p.Keyspace), float64(p.Updates))
+	leaves := math.Max(1, math.Ceil(live/(B/2)))
+	height := 1 + math.Ceil(logBase(leaves, B/2))
+	return PredictedIO{
+		Reads:  float64(p.N) * height,
+		Writes: float64(p.Updates) + 2*leaves,
+	}
 }

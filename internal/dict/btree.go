@@ -1,0 +1,255 @@
+package dict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/aem"
+)
+
+// BTree is the unbatched baseline dictionary: a classic B-tree with one
+// external block per node, applied one operation at a time. Every lookup
+// or update reads the whole root-to-leaf path (Θ(log_B N) reads) and every
+// update rewrites its leaf block immediately — one write, costing ω, per
+// Insert/Delete. It is deliberately oblivious to ω, exactly like the
+// symmetric-EM mergesort baseline next to the §3 mergesort: the experiment
+// tables show its cost growing ~linearly in ω while the buffer tree's
+// grows sublinearly.
+//
+// Node layout (one block each):
+//   - leaf: up to B entries Item{Key: key, Aux: value}, sorted by key;
+//   - internal: up to B routers Item{Key: separator, Aux: child address},
+//     sorted; child i covers keys in [sep[i], sep[i+1]). Every router key
+//     is the true lower bound of its subtree (math.MinInt64 for the
+//     leftmost), which keeps split positions correct no matter what keys
+//     arrive later.
+//
+// Deletions remove entries but never merge nodes (the classic teaching
+// simplification): underfull or empty leaves persist, which wastes at most
+// the blocks already allocated and keeps every operation a single
+// root-to-leaf pass.
+type BTree struct {
+	ma   *aem.Machine
+	cfg  aem.Config
+	root aem.Addr
+	n    int // live keys
+
+	frame     []aem.Item // scratch block frame for the current node
+	path      []aem.Addr // root-to-leaf addresses of the last descent
+	internals addrSet    // which blocks are internal nodes (program bookkeeping)
+}
+
+// addrSet tracks which block addresses are internal nodes — program
+// bookkeeping, like aem.Vector's base address; the data in the nodes moves
+// only through costed I/O.
+type addrSet map[aem.Addr]struct{}
+
+// NewBTree returns an empty baseline dictionary. It requires B ≥ 4 (an
+// internal node must hold at least two routers, and splits need headroom)
+// and M ≥ 4B (a handful of resident block frames).
+func NewBTree(ma *aem.Machine) *BTree {
+	cfg := ma.Config()
+	if cfg.B < 4 {
+		panic(fmt.Sprintf("dict: BTree needs B ≥ 4, got B=%d", cfg.B))
+	}
+	if cfg.M < 4*cfg.B {
+		panic(fmt.Sprintf("dict: BTree needs M ≥ 4B, got M=%d B=%d", cfg.M, cfg.B))
+	}
+	t := &BTree{ma: ma, cfg: cfg}
+	t.root = ma.Alloc(1)
+	t.ma.Write(t.root, nil) // the empty root leaf
+	return t
+}
+
+// Len implements Dict.
+func (t *BTree) Len() int { return t.n }
+
+// Flush implements Dict: a B-tree has nothing buffered.
+func (t *BTree) Flush() {}
+
+// Apply implements Dict, processing each operation immediately.
+func (t *BTree) Apply(ops []Op) []Result {
+	var results []Result
+	for _, op := range ops {
+		switch op.Kind {
+		case Insert:
+			checkValue(op.Value)
+			t.insert(op.Key, op.Value)
+		case Delete:
+			t.delete(op.Key)
+		case Lookup:
+			v, ok := t.lookup(op.Key)
+			results = append(results, Result{OK: ok, Value: v})
+		case RangeScan:
+			results = append(results, Result{Hits: t.scan(op.Key, op.Hi)})
+		default:
+			panic(fmt.Sprintf("dict: unknown op kind %v", op.Kind))
+		}
+	}
+	return results
+}
+
+// descend walks from the root to the leaf covering key, recording the path
+// and leaving the leaf's contents in t.frame. One costed read per level.
+func (t *BTree) descend(key int64) []aem.Item {
+	t.path = t.path[:0]
+	a := t.root
+	for {
+		t.path = append(t.path, a)
+		blk := t.readNode(a)
+		if t.isLeafBlock(a) {
+			return blk
+		}
+		// Route: last router with sep ≤ key.
+		i := sort.Search(len(blk)-1, func(j int) bool { return key < blk[j+1].Key })
+		a = aem.Addr(blk[i].Aux)
+	}
+}
+
+// internalNodes records internal block addresses (program bookkeeping).
+func (t *BTree) isLeafBlock(a aem.Addr) bool {
+	_, ok := t.internalNodes()[a]
+	return !ok
+}
+
+func (t *BTree) internalNodes() addrSet {
+	if t.internals == nil {
+		t.internals = make(addrSet)
+	}
+	return t.internals
+}
+
+// readNode reads block a into the tree's resident frame (Reserve'd for the
+// duration of the operation by the caller of lookup/insert/delete).
+func (t *BTree) readNode(a aem.Addr) []aem.Item {
+	if cap(t.frame) < t.cfg.B {
+		t.frame = make([]aem.Item, t.cfg.B)
+	}
+	return t.ma.ReadInto(a, t.frame[:t.cfg.B])
+}
+
+func (t *BTree) lookup(key int64) (int64, bool) {
+	t.ma.Reserve(t.cfg.B)
+	defer t.ma.Release(t.cfg.B)
+	leaf := t.descend(key)
+	i := sort.Search(len(leaf), func(j int) bool { return leaf[j].Key >= key })
+	if i < len(leaf) && leaf[i].Key == key {
+		return leaf[i].Aux, true
+	}
+	return 0, false
+}
+
+func (t *BTree) insert(key, value int64) {
+	t.ma.Reserve(2 * t.cfg.B) // node frame + split scratch
+	defer t.ma.Release(2 * t.cfg.B)
+	leaf := t.descend(key)
+	i := sort.Search(len(leaf), func(j int) bool { return leaf[j].Key >= key })
+	if i < len(leaf) && leaf[i].Key == key {
+		leaf[i].Aux = value // overwrite in place
+		t.ma.Write(t.path[len(t.path)-1], leaf)
+		return
+	}
+	ent := make([]aem.Item, 0, t.cfg.B+1)
+	ent = append(ent, leaf[:i]...)
+	ent = append(ent, aem.Item{Key: key, Aux: value})
+	ent = append(ent, leaf[i:]...)
+	t.n++
+	t.writeOrSplit(len(t.path)-1, ent)
+}
+
+// writeOrSplit stores the (possibly overfull) entries at path level lvl,
+// splitting up the recorded path as needed.
+func (t *BTree) writeOrSplit(lvl int, ent []aem.Item) {
+	a := t.path[lvl]
+	if len(ent) <= t.cfg.B {
+		t.ma.Write(a, ent)
+		return
+	}
+	// Split: right half moves to a fresh block.
+	mid := len(ent) / 2
+	right := t.ma.Alloc(1)
+	sep := ent[mid].Key
+	t.ma.Write(right, ent[mid:])
+	if _, internal := t.internalNodes()[a]; internal {
+		t.internalNodes()[right] = struct{}{}
+	}
+
+	if lvl == 0 {
+		// Grow a new root above the two halves. The old root keeps its
+		// address (t.root is stable program bookkeeping) — move its left
+		// half to a fresh block instead.
+		left := t.ma.Alloc(1)
+		t.ma.Write(left, ent[:mid])
+		if _, internal := t.internalNodes()[a]; internal {
+			t.internalNodes()[left] = struct{}{}
+		}
+		t.internalNodes()[a] = struct{}{}
+		t.ma.Write(a, []aem.Item{
+			{Key: math.MinInt64, Aux: int64(left)},
+			{Key: sep, Aux: int64(right)},
+		})
+		return
+	}
+
+	t.ma.Write(a, ent[:mid])
+	parent := t.readNode(t.path[lvl-1])
+	pi := sort.Search(len(parent), func(j int) bool { return parent[j].Key > sep })
+	up := make([]aem.Item, 0, t.cfg.B+1)
+	up = append(up, parent[:pi]...)
+	up = append(up, aem.Item{Key: sep, Aux: int64(right)})
+	up = append(up, parent[pi:]...)
+	t.writeOrSplit(lvl-1, up)
+}
+
+func (t *BTree) delete(key int64) {
+	t.ma.Reserve(t.cfg.B)
+	defer t.ma.Release(t.cfg.B)
+	leaf := t.descend(key)
+	i := sort.Search(len(leaf), func(j int) bool { return leaf[j].Key >= key })
+	if i >= len(leaf) || leaf[i].Key != key {
+		return // absent: read-only no-op
+	}
+	out := make([]aem.Item, 0, len(leaf)-1)
+	out = append(out, leaf[:i]...)
+	out = append(out, leaf[i+1:]...)
+	t.n--
+	t.ma.Write(t.path[len(t.path)-1], out)
+}
+
+// scan returns the live pairs with lo ≤ key < hi via a depth-first walk of
+// the subtrees intersecting the interval.
+func (t *BTree) scan(lo, hi int64) []Found {
+	t.ma.Reserve(t.cfg.B)
+	defer t.ma.Release(t.cfg.B)
+	var hits []Found
+	t.scanNode(t.root, lo, hi, &hits)
+	return hits
+}
+
+func (t *BTree) scanNode(a aem.Addr, lo, hi int64, hits *[]Found) {
+	blk := t.readNode(a)
+	if t.isLeafBlock(a) {
+		for _, it := range blk {
+			if lo <= it.Key && it.Key < hi {
+				*hits = append(*hits, Found{Key: it.Key, Value: it.Aux})
+			}
+		}
+		return
+	}
+	// Child i covers [blk[i].Key, blk[i+1].Key); router keys are true
+	// lower bounds, so interval tests need no special casing.
+	kids := make([]aem.Addr, 0, len(blk))
+	for i := range blk {
+		if i+1 < len(blk) && lo >= blk[i+1].Key {
+			continue
+		}
+		if i > 0 && hi <= blk[i].Key {
+			continue
+		}
+		kids = append(kids, aem.Addr(blk[i].Aux))
+	}
+	for _, kid := range kids {
+		t.scanNode(kid, lo, hi, hits)
+	}
+}

@@ -1,0 +1,699 @@
+package dict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/aem"
+	"repro/internal/sorting"
+)
+
+// BufferTree is an ω-adaptive buffer-tree dictionary in the style of Arge,
+// adapted to the AEM cost model:
+//
+//   - The skeleton is a balanced search tree with fan-out d ≈ m over leaf
+//     runs of ≤ M/2 key-sorted entries.
+//   - Every node carries an unordered external buffer of pending updates.
+//     Updates are appended to the root buffer in block-granular frames and
+//     trickle down lazily: when a buffer crosses its threshold it is
+//     streamed once, partitioned among the children's buffers, and emptied.
+//     At the leaves, buffered updates are merge-applied into the sorted run.
+//   - The root buffer's capacity is Θ(ω·M) — the ω-adaptive knob. The more
+//     expensive writes are, the longer updates batch up before any
+//     restructuring happens, trading cheap buffer-scan reads on the query
+//     path for expensive structural writes. At ω = 1 the tree behaves like
+//     a classic EM buffer tree; at large ω it approaches a differential
+//     log + static store.
+//
+// An update is therefore written O((height + c)/B) times amortized instead
+// of the B-tree's ≥ 1 per operation, which is the write-buffering message
+// of the paper in data-structure form.
+//
+// Updates carry sequence numbers (packEntry), so buffers can be unordered
+// bags: whenever two updates for the same key meet — at a leaf apply or on
+// a query path — the larger sequence number wins. Deletes persist in leaf
+// runs as tombstone entries (so out-of-order chunked applies stay correct)
+// and are purged at rebuilds.
+//
+// The tree's shape bookkeeping (child pointers, block addresses, item
+// counts) is program knowledge in the sense of §2 of the paper and lives in
+// Go structs, exactly as aem.Vector keeps its base address; all data — keys,
+// values, separator keys — lives in external blocks and moves only through
+// costed I/O. Batches of operations and their results are client-side
+// streams (see Dict); the tree meters every internal buffer it uses to
+// process them.
+type BufferTree struct {
+	ma  *aem.Machine
+	cfg aem.Config
+
+	fanout     int // d: children per internal node
+	rootCap    int // root buffer flush threshold, Θ(ω·M)
+	intCap     int // internal node buffer flush threshold, M/2
+	leafBufCap int // leaf buffer apply threshold, M/4
+	leafCap    int // target leaf run size at rebuild, M/2; rebuild at 2×
+	chunkCap   int // leaf-apply in-memory chunk, M/2
+
+	seq     int64
+	frame   []aem.Item // shared B-item scratch frame for serial scans/appends
+	top     *btnode
+	liveRun int // live (non-tombstone) entries across all leaf runs
+	runLen  int // total entries (incl. tombstones) across all leaf runs
+}
+
+// btnode is one tree node. Internal nodes have children and externally
+// stored separator keys; leaves have a sorted run. Both have a buffer.
+type btnode struct {
+	kids []*btnode // nil for a leaf
+
+	sepBase   aem.Addr // separator blocks (internal only)
+	sepBlocks int
+
+	buf   chain // pending updates, unordered
+	run   chain // leaf only: entries sorted by key, unique keys, incl. tombstones
+	liveN int   // leaf only: non-tombstone entries in run
+}
+
+func (nd *btnode) isLeaf() bool { return nd.kids == nil }
+
+// NewBufferTree returns an empty dictionary on the machine. It requires
+// M ≥ 8B, the same minimum the repository's mergesort needs: below that
+// there is no room for a block frame per child next to a scan frame.
+func NewBufferTree(ma *aem.Machine) *BufferTree {
+	cfg := ma.Config()
+	if cfg.M < 8*cfg.B {
+		panic(fmt.Sprintf("dict: BufferTree needs M ≥ 8B, got M=%d B=%d", cfg.M, cfg.B))
+	}
+	m := cfg.BlocksInMemory()
+	// The fan-out is ~m, capped so one streaming partition — a scan frame,
+	// d output frames and d separator keys — fits in internal memory.
+	d := (cfg.M - cfg.B) / (cfg.B + 1)
+	if d > m {
+		d = m
+	}
+	if d < 2 {
+		d = 2
+	}
+	t := &BufferTree{
+		ma:         ma,
+		cfg:        cfg,
+		fanout:     d,
+		rootCap:    cfg.Omega * cfg.M,
+		intCap:     cfg.M / 2,
+		leafBufCap: cfg.M / 4,
+		leafCap:    cfg.M / 2,
+		chunkCap:   cfg.M / 2,
+		frame:      make([]aem.Item, cfg.B),
+		top:        &btnode{},
+	}
+	return t
+}
+
+// Fanout returns the tree's fan-out d.
+func (t *BufferTree) Fanout() int { return t.fanout }
+
+// RootCap returns the ω-adaptive root buffer capacity in items.
+func (t *BufferTree) RootCap() int { return t.rootCap }
+
+// Len reports the number of live keys materialized in the leaf runs. It is
+// exact after Flush; between flushes, buffered updates are not counted.
+func (t *BufferTree) Len() int { return t.liveRun }
+
+// Height returns the number of node levels (1 for a single leaf).
+func (t *BufferTree) Height() int {
+	h, nd := 1, t.top
+	for !nd.isLeaf() {
+		h++
+		nd = nd.kids[0]
+	}
+	return h
+}
+
+// Apply implements Dict.
+func (t *BufferTree) Apply(ops []Op) []Result {
+	var results []Result
+	for i := 0; i < len(ops); {
+		j := i
+		if isUpdate(ops[i]) {
+			for j < len(ops) && isUpdate(ops[j]) {
+				j++
+			}
+			t.update(ops[i:j])
+		} else {
+			for j < len(ops) && !isUpdate(ops[j]) {
+				j++
+			}
+			results = append(results, t.query(ops[i:j])...)
+		}
+		i = j
+	}
+	return results
+}
+
+// Flush implements Dict: every buffered update is pushed into the leaf
+// runs, then the rebuild condition is checked once.
+func (t *BufferTree) Flush() {
+	prev := t.ma.SetPhase("dict-flush")
+	t.forceFlush()
+	t.ma.SetPhase(prev)
+	t.maybeRebuild()
+}
+
+// update appends a run of Insert/Delete ops to the root buffer, cascading
+// every time the buffer reaches the ω·M threshold — also mid-batch, so a
+// single huge batch behaves exactly like the same ops trickling in.
+func (t *BufferTree) update(ops []Op) {
+	for i := 0; i < len(ops); {
+		room := t.rootCap - t.top.buf.n
+		if room < 1 {
+			room = 1
+		}
+		j := min(len(ops), i+room)
+		t.appendUpdates(ops[i:j])
+		i = j
+		if t.top.buf.n >= t.rootCap {
+			prev := t.ma.SetPhase("dict-flush")
+			t.cascade()
+			t.ma.SetPhase(prev)
+			t.maybeRebuild()
+		}
+	}
+}
+
+// appendUpdates streams packed updates into the root buffer through one
+// block frame.
+func (t *BufferTree) appendUpdates(ops []Op) {
+	prev := t.ma.SetPhase("dict-append")
+	t.ma.Reserve(t.cfg.B)
+	w := newChainWriter(t.ma, &t.top.buf, t.frame)
+	for _, op := range ops {
+		if op.Kind == Insert {
+			checkValue(op.Value)
+		}
+		t.seq++
+		if t.seq >= maxSeq {
+			panic("dict: operation sequence space exhausted")
+		}
+		w.append(aem.Item{Key: op.Key, Aux: packEntry(t.seq, op.Kind, op.Value)})
+	}
+	w.close()
+	t.ma.Release(t.cfg.B)
+	t.ma.SetPhase(prev)
+}
+
+// cascade flushes the root buffer and then every buffer pushed over its
+// threshold, breadth-first. Processing is strictly one node at a time, so
+// the peak internal memory is one partition's (or one leaf apply's) worth.
+func (t *BufferTree) cascade() {
+	work := []*btnode{t.top}
+	for len(work) > 0 {
+		nd := work[0]
+		work = work[1:]
+		if nd.buf.n == 0 {
+			continue
+		}
+		if nd.isLeaf() {
+			t.applyLeaf(nd)
+			continue
+		}
+		t.partition(nd)
+		for _, kid := range nd.kids {
+			if kid.buf.n >= t.threshold(kid) {
+				work = append(work, kid)
+			}
+		}
+	}
+}
+
+// forceFlush pushes every buffer in the tree down to the leaves regardless
+// of thresholds.
+func (t *BufferTree) forceFlush() {
+	level := []*btnode{t.top}
+	for len(level) > 0 {
+		var next []*btnode
+		for _, nd := range level {
+			if nd.isLeaf() {
+				if nd.buf.n > 0 {
+					t.applyLeaf(nd)
+				}
+				continue
+			}
+			if nd.buf.n > 0 {
+				t.partition(nd)
+			}
+			next = append(next, nd.kids...)
+		}
+		level = next
+	}
+}
+
+func (t *BufferTree) threshold(nd *btnode) int {
+	if nd.isLeaf() {
+		return t.leafBufCap
+	}
+	return t.intCap
+}
+
+// readSeps loads an internal node's separator keys (the lower key bound of
+// each child; seps[0] is -∞). One costed read per separator block; the
+// keys occupy metered internal memory only while the caller holds them —
+// callers must Release len(kids) slots when done.
+func (t *BufferTree) readSeps(nd *btnode) []int64 {
+	t.ma.Reserve(len(nd.kids) + t.cfg.B)
+	seps := make([]int64, 0, len(nd.kids))
+	for b := 0; b < nd.sepBlocks; b++ {
+		blk := t.ma.ReadInto(nd.sepBase+aem.Addr(b), t.frame[:0])
+		for _, it := range blk {
+			seps = append(seps, it.Key)
+		}
+	}
+	t.ma.Release(t.cfg.B)
+	if len(seps) != len(nd.kids) {
+		panic(fmt.Sprintf("dict: node has %d separators for %d children", len(seps), len(nd.kids)))
+	}
+	return seps
+}
+
+// writeSeps stores the separator keys of a freshly built internal node.
+func (t *BufferTree) writeSeps(nd *btnode, seps []int64) {
+	nd.sepBlocks = (len(seps) + t.cfg.B - 1) / t.cfg.B
+	nd.sepBase = t.ma.Alloc(nd.sepBlocks)
+	t.ma.Reserve(t.cfg.B)
+	frame := make([]aem.Item, 0, t.cfg.B)
+	blk := 0
+	for i, s := range seps {
+		frame = append(frame, aem.Item{Key: s, Aux: int64(i)})
+		if len(frame) == t.cfg.B || i == len(seps)-1 {
+			t.ma.Write(nd.sepBase+aem.Addr(blk), frame)
+			blk++
+			frame = frame[:0]
+		}
+	}
+	t.ma.Release(t.cfg.B)
+}
+
+// route returns the index of the child covering key k.
+func route(seps []int64, k int64) int {
+	// First child covers (-∞, seps[1]); seps[0] is its stored low bound
+	// but acts as -∞.
+	i := sort.Search(len(seps)-1, func(j int) bool { return k < seps[j+1] })
+	return i
+}
+
+// partition streams an internal node's buffer once and distributes the
+// updates among the children's buffers: one scan frame in, d output frames
+// out, d separator keys resident.
+func (t *BufferTree) partition(nd *btnode) {
+	seps := t.readSeps(nd) // holds len(kids) slots until released below
+	d := len(nd.kids)
+	t.ma.Reserve((d + 1) * t.cfg.B)
+	scan := newChainScanner(t.ma, &nd.buf, t.frame)
+	writers := make([]*chainWriter, d)
+	for i, kid := range nd.kids {
+		writers[i] = newChainWriter(t.ma, &kid.buf, make([]aem.Item, 0, t.cfg.B))
+	}
+	for {
+		it, ok := scan.next()
+		if !ok {
+			break
+		}
+		writers[route(seps, it.Key)].append(it)
+	}
+	for _, w := range writers {
+		w.close()
+	}
+	nd.buf.reset()
+	t.ma.Release((d + 1) * t.cfg.B)
+	t.ma.Release(d) // separators
+}
+
+// applyLeaf merges a leaf's buffered updates into its sorted run in ONE
+// streaming pass over the run, so the run is rewritten once per apply no
+// matter how many updates arrived. A buffer that fits in M/2 items is
+// sorted in internal memory (free computation); a bigger buffer — a root
+// cascade can dump up to ω·M updates on one leaf — is materialized and
+// sorted with the repository's own AEM mergesort, which converts the
+// would-be write amplification into cheap read passes, exactly the trade
+// the model rewards.
+func (t *BufferTree) applyLeaf(leaf *btnode) {
+	if leaf.buf.n <= t.chunkCap {
+		t.ma.Reserve(t.chunkCap + t.cfg.B)
+		chunk := make([]aem.Item, 0, leaf.buf.n)
+		scan := newChainScanner(t.ma, &leaf.buf, t.frame)
+		for {
+			it, ok := scan.next()
+			if !ok {
+				break
+			}
+			chunk = append(chunk, it)
+		}
+		sortEntries(chunk)
+		i := 0
+		t.mergeApply(leaf, func() (aem.Item, bool) {
+			if i < len(chunk) {
+				i++
+				return chunk[i-1], true
+			}
+			return aem.Item{}, false
+		})
+		t.ma.Release(t.chunkCap + t.cfg.B)
+	} else {
+		v := t.materializeBuf(&leaf.buf)
+		sorted := sorting.MergeSort(t.ma, v)
+		sc := sorted.NewScanner()
+		t.mergeApply(leaf, sc.Next)
+		sc.Close()
+	}
+	leaf.buf.reset()
+}
+
+// materializeBuf copies a buffer chain into a fresh contiguous vector so
+// it can be sorted externally: one read and one write per block.
+func (t *BufferTree) materializeBuf(c *chain) *aem.Vector {
+	v := aem.NewVector(t.ma, c.n)
+	t.ma.Reserve(t.cfg.B)
+	scan := newChainScanner(t.ma, c, t.frame)
+	w := v.NewWriter()
+	for {
+		it, ok := scan.next()
+		if !ok {
+			break
+		}
+		w.Append(it)
+	}
+	w.Close()
+	t.ma.Release(t.cfg.B)
+	return v
+}
+
+// mergeApply merges a (key, seq)-sorted update stream into the leaf's run:
+// one streaming pass, two block frames. The run keeps exactly one entry
+// per key — the winning update, tombstones included.
+func (t *BufferTree) mergeApply(leaf *btnode, next func() (aem.Item, bool)) {
+	t.ma.Reserve(2 * t.cfg.B)
+	out := chain{}
+	scan := newChainScanner(t.ma, &leaf.run, t.frame)
+	w := newChainWriter(t.ma, &out, make([]aem.Item, 0, t.cfg.B))
+	liveN := 0
+	emit := func(it aem.Item) {
+		w.append(it)
+		if entryKind(it.Aux) == Insert {
+			liveN++
+		}
+	}
+	cur, ok := scan.next()
+	op, opOk := next()
+	for ok || opOk {
+		if !opOk || (ok && cur.Key < op.Key) {
+			emit(cur)
+			cur, ok = scan.next()
+			continue
+		}
+		k := op.Key
+		win := op
+		for op, opOk = next(); opOk && op.Key == k; op, opOk = next() {
+			if entrySeq(op.Aux) > entrySeq(win.Aux) {
+				win = op
+			}
+		}
+		if ok && cur.Key == k {
+			if entrySeq(cur.Aux) > entrySeq(win.Aux) {
+				win = cur
+			}
+			cur, ok = scan.next()
+		}
+		emit(win)
+	}
+	w.close()
+	t.liveRun += liveN - leaf.liveN
+	t.runLen += out.n - leaf.run.n
+	leaf.run = out
+	leaf.liveN = liveN
+	t.ma.Release(2 * t.cfg.B)
+}
+
+// sortEntries orders items by (Key, Aux); with packEntry's layout that is
+// (key, sequence) order. Internal computation is free in the model.
+func sortEntries(items []aem.Item) {
+	sort.Slice(items, func(i, j int) bool { return aem.Less(items[i], items[j]) })
+}
+
+// maybeRebuild rebuilds the skeleton when any leaf run outgrew 2× the
+// target leaf size, or when tombstones and overwrites have bloated the
+// runs to 2× the live entry count.
+func (t *BufferTree) maybeRebuild() {
+	need := t.runLen > 2*max(t.liveRun, t.leafCap)
+	if !need {
+		for _, leaf := range t.leaves() {
+			if leaf.run.n > 2*t.leafCap {
+				need = true
+				break
+			}
+		}
+	}
+	if !need {
+		return
+	}
+	prev := t.ma.SetPhase("dict-rebuild")
+	t.forceFlush()
+	t.rebuild()
+	t.ma.SetPhase(prev)
+}
+
+// leaves returns the tree's leaves in key order (structure walk, no I/O).
+func (t *BufferTree) leaves() []*btnode {
+	var out []*btnode
+	var walk func(nd *btnode)
+	walk = func(nd *btnode) {
+		if nd.isLeaf() {
+			out = append(out, nd)
+			return
+		}
+		for _, kid := range nd.kids {
+			walk(kid)
+		}
+	}
+	walk(t.top)
+	return out
+}
+
+// rebuild streams every live entry (leaves are already in global key
+// order) into fresh leaf runs of ≤ leafCap entries, purging tombstones,
+// and erects a balanced fan-out-d skeleton above them. All buffers must be
+// empty (forceFlush). Cost: one read and one write per run block, plus the
+// separator blocks.
+func (t *BufferTree) rebuild() {
+	old := t.leaves()
+	t.ma.Reserve(2 * t.cfg.B)
+	inFrame := make([]aem.Item, t.cfg.B)
+	var newLeaves []*btnode
+	var lows []int64
+	var cur *btnode
+	var w *chainWriter
+	outFrame := make([]aem.Item, 0, t.cfg.B)
+	flushCur := func() {
+		if cur != nil {
+			w.close()
+			newLeaves = append(newLeaves, cur)
+		}
+		cur = nil
+	}
+	live := 0
+	for _, leaf := range old {
+		scan := newChainScanner(t.ma, &leaf.run, inFrame)
+		for {
+			it, ok := scan.next()
+			if !ok {
+				break
+			}
+			if entryKind(it.Aux) != Insert {
+				continue // purge tombstone
+			}
+			if cur == nil {
+				cur = &btnode{}
+				w = newChainWriter(t.ma, &cur.run, outFrame)
+				lows = append(lows, it.Key)
+			}
+			w.append(it)
+			cur.liveN++
+			live++
+			if cur.run.n+len(w.frame) >= t.leafCap {
+				flushCur()
+			}
+		}
+	}
+	flushCur()
+	t.ma.Release(2 * t.cfg.B)
+
+	if len(newLeaves) == 0 {
+		t.top = &btnode{}
+		t.liveRun, t.runLen = 0, 0
+		return
+	}
+	t.liveRun = live
+	t.runLen = live
+
+	// Erect internal levels, writing each node's separator keys.
+	level, lvLows := newLeaves, lows
+	for len(level) > 1 {
+		var parents []*btnode
+		var parentLows []int64
+		for lo := 0; lo < len(level); lo += t.fanout {
+			hi := min(lo+t.fanout, len(level))
+			nd := &btnode{kids: append([]*btnode(nil), level[lo:hi]...)}
+			t.writeSeps(nd, lvLows[lo:hi])
+			parents = append(parents, nd)
+			parentLows = append(parentLows, lvLows[lo])
+		}
+		level, lvLows = parents, parentLows
+	}
+	t.top = level[0]
+}
+
+// ---- queries ----
+
+// lookupQ tracks the best (max-sequence) update seen for one Lookup.
+type lookupQ struct {
+	idx  int
+	key  int64
+	cand int64 // packed Aux of the winner; 0 = none seen
+}
+
+// rangeQ accumulates winners per key for one RangeScan.
+type rangeQ struct {
+	idx    int
+	lo, hi int64
+	cands  map[int64]int64 // key → packed Aux of the winner
+}
+
+// query answers a run of Lookup/RangeScan ops with one batched tree
+// descent: every buffer on a relevant root-to-leaf path is scanned exactly
+// once, and winners are resolved by sequence number across buffers and
+// leaf runs. Because Apply segments the stream, every update in the tree
+// precedes every query in the batch.
+func (t *BufferTree) query(ops []Op) []Result {
+	prev := t.ma.SetPhase("dict-query")
+	defer t.ma.SetPhase(prev)
+
+	lookups := make([]*lookupQ, 0, len(ops))
+	ranges := make([]*rangeQ, 0)
+	for i, op := range ops {
+		switch op.Kind {
+		case Lookup:
+			lookups = append(lookups, &lookupQ{idx: i, key: op.Key})
+		case RangeScan:
+			ranges = append(ranges, &rangeQ{idx: i, lo: op.Key, hi: op.Hi, cands: make(map[int64]int64)})
+		default:
+			panic(fmt.Sprintf("dict: query batch contains %v", op.Kind))
+		}
+	}
+	sort.Slice(lookups, func(i, j int) bool { return lookups[i].key < lookups[j].key })
+
+	t.descend(t.top, lookups, ranges)
+
+	results := make([]Result, len(ops))
+	for _, lq := range lookups {
+		if lq.cand != 0 && entryKind(lq.cand) == Insert {
+			results[lq.idx] = Result{OK: true, Value: entryValue(lq.cand)}
+		}
+	}
+	for _, rq := range ranges {
+		keys := make([]int64, 0, len(rq.cands))
+		for k, aux := range rq.cands {
+			if entryKind(aux) == Insert {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		hits := make([]Found, 0, len(keys))
+		for _, k := range keys {
+			hits = append(hits, Found{Key: k, Value: entryValue(rq.cands[k])})
+		}
+		results[rq.idx] = Result{Hits: hits}
+	}
+	return results
+}
+
+// scanMatch feeds one stored item (a buffered update or a leaf run entry)
+// to the queries it concerns. lookups are sorted by key.
+func scanMatch(it aem.Item, lookups []*lookupQ, ranges []*rangeQ) {
+	i := sort.Search(len(lookups), func(j int) bool { return lookups[j].key >= it.Key })
+	for ; i < len(lookups) && lookups[i].key == it.Key; i++ {
+		if entrySeq(it.Aux) > entrySeq(lookups[i].cand) {
+			lookups[i].cand = it.Aux
+		}
+	}
+	for _, rq := range ranges {
+		if rq.lo <= it.Key && it.Key < rq.hi {
+			if entrySeq(it.Aux) > entrySeq(rq.cands[it.Key]) {
+				rq.cands[it.Key] = it.Aux
+			}
+		}
+	}
+}
+
+func (t *BufferTree) descend(nd *btnode, lookups []*lookupQ, ranges []*rangeQ) {
+	if len(lookups) == 0 && len(ranges) == 0 {
+		return
+	}
+	// Scan this node's buffer (and run, for leaves) with one block frame.
+	t.ma.Reserve(t.cfg.B)
+	for _, c := range []*chain{&nd.buf, &nd.run} {
+		scan := newChainScanner(t.ma, c, t.frame)
+		for {
+			it, ok := scan.next()
+			if !ok {
+				break
+			}
+			scanMatch(it, lookups, ranges)
+		}
+	}
+	t.ma.Release(t.cfg.B)
+	if nd.isLeaf() {
+		return
+	}
+
+	// Route queries to children while the separator keys are resident,
+	// then release the keys before recursing, so the metered peak is one
+	// node's worth of memory regardless of tree height.
+	seps := t.readSeps(nd) // holds len(kids) slots until released below
+	d := len(nd.kids)
+	kidLookups := make([][]*lookupQ, d)
+	lo := 0
+	for ci := 0; ci < d; ci++ {
+		// Lookups routed to this child form a contiguous slice.
+		hi := lo
+		for hi < len(lookups) && route(seps, lookups[hi].key) == ci {
+			hi++
+		}
+		kidLookups[ci] = lookups[lo:hi]
+		lo = hi
+	}
+	kidRanges := make([][]*rangeQ, d)
+	for ci := 0; ci < d; ci++ {
+		for _, rq := range ranges {
+			if rangeOverlaps(rq, seps, ci) {
+				kidRanges[ci] = append(kidRanges[ci], rq)
+			}
+		}
+	}
+	t.ma.Release(d)
+	for ci, kid := range nd.kids {
+		t.descend(kid, kidLookups[ci], kidRanges[ci])
+	}
+}
+
+// rangeOverlaps reports whether the range query intersects child ci's key
+// interval [seps[ci], seps[ci+1]) (the first child's interval starts at -∞,
+// the last child's ends at +∞).
+func rangeOverlaps(rq *rangeQ, seps []int64, ci int) bool {
+	lo := seps[ci]
+	if ci == 0 {
+		lo = math.MinInt64
+	}
+	if ci+1 < len(seps) && rq.lo >= seps[ci+1] {
+		return false
+	}
+	return rq.hi > lo || ci == 0
+}
+

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/dict"
+	"repro/internal/workload"
+)
+
+// TestDictExperimentAcceptance pins EXP-D1's claims as hard assertions:
+// the buffer tree's cost grows sublinearly in ω while the unbatched
+// B-tree's grows ~linearly, and both stay within 2× of the bounds
+// predictions for reads and writes separately.
+func TestDictExperimentAcceptance(t *testing.T) {
+	const n, keyspace = 24000, 8192
+	ops := workload.DictOps(workload.NewRNG(Seed+14), workload.UniformOps, n, keyspace)
+
+	omegas := []int{1, 4, 8, 16, 32, 64}
+	btCost := make([]float64, len(omegas))
+	baseCost := make([]float64, len(omegas))
+	for i, w := range omegas {
+		cfg := aem.Config{M: 256, B: 16, Omega: w}
+		maB := aem.New(cfg)
+		dict.NewBufferTree(maB).Apply(ops)
+		maT := aem.New(cfg)
+		dict.NewBTree(maT).Apply(ops)
+		btCost[i] = float64(maB.Cost())
+		baseCost[i] = float64(maT.Cost())
+
+		p := bounds.DictParamsFor(cfg, ops, keyspace)
+		for name, pair := range map[string][2]float64{
+			"buffertree reads":  {float64(maB.Stats().Reads), bounds.DictBufferTreePredicted(p).Reads},
+			"buffertree writes": {float64(maB.Stats().Writes), bounds.DictBufferTreePredicted(p).Writes},
+			"btree reads":       {float64(maT.Stats().Reads), bounds.DictBTreePredicted(p).Reads},
+			"btree writes":      {float64(maT.Stats().Writes), bounds.DictBTreePredicted(p).Writes},
+		} {
+			ratio := pair[0] / pair[1]
+			if ratio < 0.5 || ratio > 2 {
+				t.Errorf("ω=%d: %s measured/predicted = %.2f outside [0.5, 2]", w, name, ratio)
+			}
+		}
+	}
+
+	// Sublinear vs ~linear: over a 64× growth in ω the buffer tree's cost
+	// must grow by well under half of it, while the B-tree — paying ω on
+	// its ~constant writes/op — must track ω itself once ω dominates.
+	wSpan := float64(omegas[len(omegas)-1]) / float64(omegas[0])
+	btGrowth := btCost[len(btCost)-1] / btCost[0]
+	if btGrowth > wSpan/2 {
+		t.Errorf("buffer tree cost grew %.1f× over a %.0f× ω span — not sublinear", btGrowth, wSpan)
+	}
+	// Affine check for the baseline: cost(ω) ≈ r + w·ω with w/op ≈ const.
+	// Compare the marginal cost over the top octave with ω itself.
+	top := (baseCost[len(baseCost)-1] - baseCost[len(baseCost)-2]) /
+		(float64(omegas[len(omegas)-1]) - float64(omegas[len(omegas)-2]))
+	bottom := (baseCost[2] - baseCost[1]) / (float64(omegas[2]) - float64(omegas[1]))
+	if top < 0.5*bottom || top > 2*bottom {
+		t.Errorf("baseline marginal cost/ω drifted (%.0f vs %.0f) — not ~linear in ω", top, bottom)
+	}
+	// And the gap must widen: buffered wins more the more writes cost.
+	if baseCost[len(baseCost)-1]/btCost[len(btCost)-1] <= baseCost[0]/btCost[0] {
+		t.Error("buffered/unbatched gap did not widen with ω")
+	}
+}

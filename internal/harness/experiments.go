@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/aem"
 	"repro/internal/bounds"
+	"repro/internal/dict"
 	"repro/internal/flash"
 	"repro/internal/permute"
 	"repro/internal/pq"
@@ -60,7 +61,86 @@ func All() []Experiment {
 		{ID: "EXP-X2", Title: "SpMxV cost vs ω (Section 5)",
 			Claim: "as ω grows the sorting-based cost scales ~ω while naive stays flat in reads, moving the crossover toward naive",
 			Run:   expX2},
+		{ID: "EXP-D1", Title: "dictionary: buffered vs unbatched cost vs ω",
+			Claim: "the ω-adaptive buffer tree's cost/op grows sublinearly in ω (its writes/op falls as buffers grow) while the unbatched B-tree grows ~linearly at ~1 write/update; both within 2× of the bounds predictions",
+			Run:   expD1},
+		{ID: "EXP-D2", Title: "dictionary: cost per op vs stream length",
+			Claim: "amortized cost/op of the buffer tree grows only logarithmically with the stream (tree height), staying under the B-tree baseline across sizes",
+			Run:   expD2},
 	}
+}
+
+func expD1() *Table {
+	t := &Table{
+		ID:      "EXP-D1",
+		Title:   "dictionary: buffered vs unbatched cost across ω",
+		Claim:   "buffer tree cost/op sublinear in ω (writes/op falls); B-tree ~linear at ~1 write/update",
+		Columns: []string{"scenario", "omega", "bt w/op", "bt cost/op", "btree cost/op", "btree/bt", "bt r m/p", "bt w m/p", "base r m/p", "base w m/p"},
+	}
+	const n, keyspace = 24000, 8192
+	for _, sc := range []workload.Scenario{workload.UniformOps, workload.ZipfOps} {
+		ops := workload.DictOps(workload.NewRNG(Seed+14), sc, n, keyspace)
+		for _, w := range []int{1, 4, 8, 16, 32, 64} {
+			cfg := aem.Config{M: 256, B: 16, Omega: w}
+			maB := aem.New(cfg)
+			dict.NewBufferTree(maB).Apply(ops)
+			maT := aem.New(cfg)
+			dict.NewBTree(maT).Apply(ops)
+
+			p := bounds.DictParamsFor(cfg, ops, keyspace)
+			predB := bounds.DictBufferTreePredicted(p)
+			predT := bounds.DictBTreePredicted(p)
+			stB, stT := maB.Stats(), maT.Stats()
+			t.AddRow(sc.String(), w,
+				float64(stB.Writes)/float64(n),
+				float64(maB.Cost())/float64(n),
+				float64(maT.Cost())/float64(n),
+				float64(maT.Cost())/float64(maB.Cost()),
+				float64(stB.Reads)/predB.Reads,
+				float64(stB.Writes)/predB.Writes,
+				float64(stT.Reads)/predT.Reads,
+				float64(stT.Writes)/predT.Writes)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"bt w/op falls as ω grows — the ω·M root buffer batches more before restructuring: writes are deferred and absorbed (overwritten keys never descend)",
+		"the B-tree's writes/op is constant, so its cost is ~affine in ω; the buffered/unbatched gap widens with ω, the paper's message in data-structure form",
+		"m/p columns are measured/predicted Qr and Qw; the acceptance band is [0.5, 2]")
+	return t
+}
+
+func expD2() *Table {
+	t := &Table{
+		ID:      "EXP-D2",
+		Title:   "dictionary: amortized cost per op vs stream length",
+		Claim:   "cost/op grows ~log N (tree height) for the buffer tree, stays below the B-tree",
+		Columns: []string{"ops", "keys", "bt r/op", "bt w/op", "bt cost/op", "btree cost/op", "btree/bt", "bt r m/p", "bt w m/p"},
+	}
+	cfg := aem.Config{M: 256, B: 16, Omega: 8}
+	for _, n := range []int{6000, 12000, 24000, 48000} {
+		keyspace := n / 3
+		ops := workload.DictOps(workload.NewRNG(Seed+15), workload.UniformOps, n, int64(keyspace))
+		maB := aem.New(cfg)
+		dict.NewBufferTree(maB).Apply(ops)
+		maT := aem.New(cfg)
+		dict.NewBTree(maT).Apply(ops)
+
+		p := bounds.DictParamsFor(cfg, ops, keyspace)
+		predB := bounds.DictBufferTreePredicted(p)
+		stB := maB.Stats()
+		t.AddRow(n, keyspace,
+			float64(stB.Reads)/float64(n),
+			float64(stB.Writes)/float64(n),
+			float64(maB.Cost())/float64(n),
+			float64(maT.Cost())/float64(n),
+			float64(maT.Cost())/float64(maB.Cost()),
+			float64(stB.Reads)/predB.Reads,
+			float64(stB.Writes)/predB.Writes)
+	}
+	t.Notes = append(t.Notes,
+		"the growing working set (keys = ops/3) deepens the tree; cost/op grows with the height, not the stream length",
+		"ω = 8: the buffer tree stays under the baseline at every size")
+	return t
 }
 
 func expM1() *Table {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/aem"
-	"repro/internal/workload"
+	"repro/internal/rng"
 )
 
 // EMSampleSort is a distribution (sample) sort baseline in the classic
@@ -28,7 +28,7 @@ func EMSampleSort(ma *aem.Machine, v *aem.Vector, seed uint64) *aem.Vector {
 	if cfg.M < 8*cfg.B {
 		panic(fmt.Sprintf("sorting: EMSampleSort needs M ≥ 8B, got M=%d B=%d", cfg.M, cfg.B))
 	}
-	rng := workload.NewRNG(seed)
+	rng := rng.New(seed)
 	return sampleSortRec(ma, v, rng, 0)
 }
 
@@ -37,7 +37,7 @@ func EMSampleSort(ma *aem.Machine, v *aem.Vector, seed uint64) *aem.Vector {
 // verified by tests).
 const maxSampleDepth = 64
 
-func sampleSortRec(ma *aem.Machine, v *aem.Vector, rng *workload.RNG, depth int) *aem.Vector {
+func sampleSortRec(ma *aem.Machine, v *aem.Vector, rng *rng.RNG, depth int) *aem.Vector {
 	cfg := ma.Config()
 	if v.Len() <= cfg.M/2 {
 		return emSortChunk(ma, v)
@@ -125,7 +125,7 @@ func sampleSortRec(ma *aem.Machine, v *aem.Vector, rng *workload.RNG, depth int)
 
 // pickSplitters samples 4f items (4f block reads, 4f ≤ M/2 memory), sorts
 // them in memory, and returns f−1 evenly spaced splitters.
-func pickSplitters(ma *aem.Machine, v *aem.Vector, rng *workload.RNG, f int) []aem.Item {
+func pickSplitters(ma *aem.Machine, v *aem.Vector, rng *rng.RNG, f int) []aem.Item {
 	s := 4 * f
 	if s > v.Len() {
 		s = v.Len()

@@ -1,10 +1,11 @@
-package sorting
+package sorting_test
 
 import (
 	"testing"
 	"testing/quick"
 
 	"repro/internal/aem"
+	"repro/internal/sorting"
 	"repro/internal/workload"
 )
 
@@ -14,7 +15,7 @@ func TestEMSampleSortCorrectness(t *testing.T) {
 			cfg := aem.Config{M: 64, B: 4, Omega: 4}
 			ma := aem.New(cfg)
 			in := workload.Keys(workload.NewRNG(uint64(n)+17), dist, n)
-			out := EMSampleSort(ma, aem.Load(ma, in), 99)
+			out := sorting.EMSampleSort(ma, aem.Load(ma, in), 99)
 			checkSortResult(t, in, out)
 			if ma.MemInUse() != 0 {
 				t.Fatalf("n=%d dist=%v: leaked %d slots", n, dist, ma.MemInUse())
@@ -27,9 +28,9 @@ func TestEMSampleSortDeterministic(t *testing.T) {
 	cfg := aem.Config{M: 64, B: 8, Omega: 2}
 	in := workload.Keys(workload.NewRNG(5), workload.Random, 2000)
 	ma1 := aem.New(cfg)
-	out1 := EMSampleSort(ma1, aem.Load(ma1, in), 7)
+	out1 := sorting.EMSampleSort(ma1, aem.Load(ma1, in), 7)
 	ma2 := aem.New(cfg)
-	out2 := EMSampleSort(ma2, aem.Load(ma2, in), 7)
+	out2 := sorting.EMSampleSort(ma2, aem.Load(ma2, in), 7)
 	if ma1.Stats() != ma2.Stats() {
 		t.Errorf("same seed, different cost: %+v vs %+v", ma1.Stats(), ma2.Stats())
 	}
@@ -45,11 +46,11 @@ func TestEMSampleSortCostClass(t *testing.T) {
 	// Θ((1+ω)·n·log_m n): both reads and writes grow per level; the cost
 	// class is the EM mergesort's, not the §3 mergesort's. We check the
 	// read/write ratio stays O(1) (≈2–4 from the two scan passes), in
-	// contrast to MergeSort's ≈ω.
+	// contrast to sorting.MergeSort's ≈ω.
 	cfg := aem.Config{M: 128, B: 8, Omega: 32}
 	ma := aem.New(cfg)
 	in := workload.Keys(workload.NewRNG(6), workload.Random, 1<<14)
-	EMSampleSort(ma, aem.Load(ma, in), 3)
+	sorting.EMSampleSort(ma, aem.Load(ma, in), 3)
 	st := ma.Stats()
 	ratio := float64(st.Reads) / float64(st.Writes)
 	if ratio > 8 {
@@ -57,27 +58,9 @@ func TestEMSampleSortCostClass(t *testing.T) {
 	}
 	// And it must not be absurdly more expensive than the EM mergesort.
 	ma2 := aem.New(cfg)
-	EMMergeSort(ma2, aem.Load(ma2, in))
+	sorting.EMMergeSort(ma2, aem.Load(ma2, in))
 	if ma.Cost() > 4*ma2.Cost() {
 		t.Errorf("samplesort cost %d > 4× EM mergesort %d", ma.Cost(), ma2.Cost())
-	}
-}
-
-func TestBucketOf(t *testing.T) {
-	sp := []aem.Item{{Key: 10}, {Key: 20}, {Key: 30}}
-	cases := []struct {
-		key  int64
-		want int
-	}{
-		{5, 0}, {10, 0}, {15, 1}, {20, 1}, {25, 2}, {30, 2}, {35, 3},
-	}
-	for _, tc := range cases {
-		if got := bucketOf(sp, aem.Item{Key: tc.key}); got != tc.want {
-			t.Errorf("bucketOf(%d) = %d, want %d", tc.key, got, tc.want)
-		}
-	}
-	if got := bucketOf(nil, aem.Item{Key: 1}); got != 0 {
-		t.Errorf("bucketOf with no splitters = %d, want 0", got)
 	}
 }
 
@@ -89,8 +72,8 @@ func TestEMSampleSortQuick(t *testing.T) {
 		for i, k := range keys {
 			in[i] = aem.Item{Key: k, Aux: int64(i)}
 		}
-		out := EMSampleSort(ma, aem.Load(ma, in), seed).Materialize()
-		return IsSorted(out) && SameMultiset(in, out) && ma.MemInUse() == 0
+		out := sorting.EMSampleSort(ma, aem.Load(ma, in), seed).Materialize()
+		return sorting.IsSorted(out) && sorting.SameMultiset(in, out) && ma.MemInUse() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

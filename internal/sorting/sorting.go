@@ -67,18 +67,31 @@ func SmallSort(ma *aem.Machine, v *aem.Vector) *aem.Vector {
 	w := out.NewWriter()
 	defer w.Close()
 
+	// watermark is the largest item emitted so far and dupSkip the number
+	// of its emitted copies, so inputs with duplicate (Key, Aux) items —
+	// e.g. data read back from the zero-filled counting engine — sort
+	// correctly too: each pass skips exactly the copies already written.
+	// For all-distinct inputs the schedule is unchanged.
 	watermark := minItem
+	dupSkip := 0
 	buf := make([]aem.Item, 0, capS)
 	for w.Written() < v.Len() {
 		buf = buf[:0]
+		eqSeen := 0
 		sc := v.NewScanner()
 		for {
 			it, ok := sc.Next()
 			if !ok {
 				break
 			}
-			if !aem.Less(watermark, it) {
+			if aem.Less(it, watermark) {
 				continue // already emitted in an earlier pass
+			}
+			if it == watermark {
+				eqSeen++
+				if eqSeen <= dupSkip {
+					continue // this copy was already emitted
+				}
 			}
 			buf = insertCapped(buf, it, capS)
 		}
@@ -89,7 +102,17 @@ func SmallSort(ma *aem.Machine, v *aem.Vector) *aem.Vector {
 		for _, it := range buf {
 			w.Append(it)
 		}
-		watermark = buf[len(buf)-1]
+		newMark := buf[len(buf)-1]
+		emittedAtMark := 0
+		for i := len(buf) - 1; i >= 0 && buf[i] == newMark; i-- {
+			emittedAtMark++
+		}
+		if newMark == watermark {
+			dupSkip += emittedAtMark
+		} else {
+			dupSkip = emittedAtMark
+		}
+		watermark = newMark
 	}
 	return out
 }

@@ -1,11 +1,13 @@
-package sorting
+package sorting_test
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/aem"
+	"repro/internal/sorting"
 	"repro/internal/workload"
 )
 
@@ -15,17 +17,17 @@ func it(key, aux int64) aem.Item { return aem.Item{Key: key, Aux: aux} }
 func sortedCopy(items []aem.Item) []aem.Item {
 	out := make([]aem.Item, len(items))
 	copy(out, items)
-	sortItems(out)
+	sort.Slice(out, func(i, j int) bool { return aem.Less(out[i], out[j]) })
 	return out
 }
 
 func checkSortResult(t *testing.T, in []aem.Item, out *aem.Vector) {
 	t.Helper()
 	got := out.Materialize()
-	if !IsSorted(got) {
+	if !sorting.IsSorted(got) {
 		t.Fatal("output not sorted")
 	}
-	if !SameMultiset(in, got) {
+	if !sorting.SameMultiset(in, got) {
 		t.Fatal("output is not a permutation of the input")
 	}
 }
@@ -36,7 +38,7 @@ func TestSmallSortCorrectness(t *testing.T) {
 		for _, n := range []int{0, 1, 5, 16, 32, 100, 128} {
 			ma := aem.New(cfg)
 			in := workload.Keys(workload.NewRNG(uint64(n)), dist, n)
-			out := SmallSort(ma, aem.Load(ma, in))
+			out := sorting.SmallSort(ma, aem.Load(ma, in))
 			checkSortResult(t, in, out)
 			if ma.MemInUse() != 0 {
 				t.Fatalf("dist=%v n=%d: leaked %d memory slots", dist, n, ma.MemInUse())
@@ -53,7 +55,7 @@ func TestSmallSortCostBound(t *testing.T) {
 	n := cfg.Omega * cfg.M // the largest base case, N′ = ωM
 	ma := aem.New(cfg)
 	in := workload.Keys(workload.NewRNG(1), workload.Random, n)
-	SmallSort(ma, aem.Load(ma, in))
+	sorting.SmallSort(ma, aem.Load(ma, in))
 
 	nBlocks := int64(cfg.BlocksOf(n))
 	st := ma.Stats()
@@ -74,25 +76,9 @@ func TestSmallSortWriteOptimality(t *testing.T) {
 		n := 512
 		ma := aem.New(cfg)
 		in := workload.Keys(workload.NewRNG(2), workload.Random, n)
-		SmallSort(ma, aem.Load(ma, in))
+		sorting.SmallSort(ma, aem.Load(ma, in))
 		if got := ma.Stats().Writes; got != int64(cfg.BlocksOf(n)) {
 			t.Errorf("ω=%d: writes = %d, want %d", w, got, cfg.BlocksOf(n))
-		}
-	}
-}
-
-func TestInsertCapped(t *testing.T) {
-	var buf []aem.Item
-	for _, k := range []int64{5, 3, 9, 1, 7} {
-		buf = insertCapped(buf, aem.Item{Key: k}, 3)
-	}
-	if len(buf) != 3 {
-		t.Fatalf("len = %d, want 3", len(buf))
-	}
-	want := []int64{1, 3, 5}
-	for i, k := range want {
-		if buf[i].Key != k {
-			t.Errorf("buf[%d].Key = %d, want %d", i, buf[i].Key, k)
 		}
 	}
 }
@@ -118,7 +104,7 @@ func TestMergeRunsBasic(t *testing.T) {
 	for _, g := range groups {
 		all = append(all, g...)
 	}
-	out := MergeRuns(ma, loadRuns(ma, groups), MergeOptions{})
+	out := sorting.MergeRuns(ma, loadRuns(ma, groups), sorting.MergeOptions{})
 	checkSortResult(t, all, out)
 	if ma.MemInUse() != 0 {
 		t.Fatalf("leaked %d memory slots", ma.MemInUse())
@@ -127,7 +113,7 @@ func TestMergeRunsBasic(t *testing.T) {
 
 func TestMergeRunsEmpty(t *testing.T) {
 	ma := aem.New(aem.Config{M: 64, B: 4, Omega: 2})
-	out := MergeRuns(ma, nil, MergeOptions{})
+	out := sorting.MergeRuns(ma, nil, sorting.MergeOptions{})
 	if out.Len() != 0 {
 		t.Errorf("empty merge produced %d items", out.Len())
 	}
@@ -166,7 +152,7 @@ func TestMergeRunsManyConfigs(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ma := aem.New(tc.cfg)
 			groups, all := makeRuns(workload.NewRNG(99), tc.n, tc.k)
-			out := MergeRuns(ma, loadRuns(ma, groups), MergeOptions{})
+			out := sorting.MergeRuns(ma, loadRuns(ma, groups), sorting.MergeOptions{})
 			checkSortResult(t, all, out)
 			if ma.MemInUse() != 0 {
 				t.Fatalf("leaked %d memory slots", ma.MemInUse())
@@ -187,7 +173,7 @@ func TestMergeRunsTheorem32CostBound(t *testing.T) {
 			k := cfg.MergeFanout()
 			ma := aem.New(cfg)
 			groups, _ := makeRuns(workload.NewRNG(7), n, k)
-			MergeRuns(ma, loadRuns(ma, groups), MergeOptions{})
+			sorting.MergeRuns(ma, loadRuns(ma, groups), sorting.MergeOptions{})
 
 			nb := float64(cfg.BlocksOf(n))
 			mb := float64(cfg.BlocksInMemory())
@@ -210,7 +196,7 @@ func TestMergeRunsReduce(t *testing.T) {
 		{it(1, 1), it(3, 3), it(7, 7)},
 		{it(3, 300)},
 	}
-	out := MergeRuns(ma, loadRuns(ma, groups), MergeOptions{Reduce: true})
+	out := sorting.MergeRuns(ma, loadRuns(ma, groups), sorting.MergeOptions{Reduce: true})
 	got := out.Materialize()
 	want := []aem.Item{it(1, 11), it(3, 333), it(5, 50), it(7, 7)}
 	if len(got) != len(want) {
@@ -239,7 +225,7 @@ func TestMergeRunsReduceAcrossRounds(t *testing.T) {
 			wantSum += v
 		}
 	}
-	out := MergeRuns(ma, loadRuns(ma, groups), MergeOptions{Reduce: true})
+	out := sorting.MergeRuns(ma, loadRuns(ma, groups), sorting.MergeOptions{Reduce: true})
 	got := out.Materialize()
 	if len(got) != 1 || got[0].Key != 42 || got[0].Aux != wantSum {
 		t.Fatalf("reduced output = %v, want [{42 %d}]", got, wantSum)
@@ -253,11 +239,11 @@ func TestInMemoryPointersMatchExternal(t *testing.T) {
 	groups, all := makeRuns(workload.NewRNG(5), 600, 10)
 
 	ma1 := aem.New(cfg)
-	out1 := MergeRuns(ma1, loadRuns(ma1, groups), MergeOptions{})
+	out1 := sorting.MergeRuns(ma1, loadRuns(ma1, groups), sorting.MergeOptions{})
 	checkSortResult(t, all, out1)
 
 	ma2 := aem.New(cfg)
-	out2 := MergeRunsInMemoryPointers(ma2, loadRuns(ma2, groups), MergeOptions{})
+	out2 := sorting.MergeRunsInMemoryPointers(ma2, loadRuns(ma2, groups), sorting.MergeOptions{})
 	checkSortResult(t, all, out2)
 
 	a, b := out1.Materialize(), out2.Materialize()
@@ -289,7 +275,7 @@ func TestInMemoryPointersFailForLargeOmega(t *testing.T) {
 			t.Fatalf("unexpected panic: %v", r)
 		}
 	}()
-	MergeRunsInMemoryPointers(ma, loadRuns(ma, groups), MergeOptions{})
+	sorting.MergeRunsInMemoryPointers(ma, loadRuns(ma, groups), sorting.MergeOptions{})
 }
 
 func TestMergeSortCorrectness(t *testing.T) {
@@ -309,7 +295,7 @@ func TestMergeSortCorrectness(t *testing.T) {
 			for _, dist := range workload.Dists() {
 				ma := aem.New(tc.cfg)
 				in := workload.Keys(workload.NewRNG(3), dist, tc.n)
-				out := MergeSort(ma, aem.Load(ma, in))
+				out := sorting.MergeSort(ma, aem.Load(ma, in))
 				checkSortResult(t, in, out)
 				if ma.MemInUse() != 0 {
 					t.Fatalf("dist %v: leaked %d memory slots", dist, ma.MemInUse())
@@ -325,7 +311,7 @@ func TestMergeSortWritesBeatReadsByOmega(t *testing.T) {
 	cfg := aem.Config{M: 128, B: 8, Omega: 16}
 	ma := aem.New(cfg)
 	in := workload.Keys(workload.NewRNG(4), workload.Random, 1<<14)
-	MergeSort(ma, aem.Load(ma, in))
+	sorting.MergeSort(ma, aem.Load(ma, in))
 	st := ma.Stats()
 	ratio := float64(st.Reads) / float64(st.Writes)
 	if ratio < float64(cfg.Omega)/4 {
@@ -338,7 +324,7 @@ func TestEMMergeSortCorrectness(t *testing.T) {
 		cfg := aem.Config{M: 64, B: 4, Omega: 4}
 		ma := aem.New(cfg)
 		in := workload.Keys(workload.NewRNG(uint64(n)), workload.Random, n)
-		out := EMMergeSort(ma, aem.Load(ma, in))
+		out := sorting.EMMergeSort(ma, aem.Load(ma, in))
 		checkSortResult(t, in, out)
 		if ma.MemInUse() != 0 {
 			t.Fatalf("n=%d: leaked %d memory slots", n, ma.MemInUse())
@@ -359,9 +345,9 @@ func TestAEMvsEMMergeSortTrend(t *testing.T) {
 	for i, w := range []int{1, 4, 16, 64} {
 		cfg := aem.Config{M: 128, B: 8, Omega: w}
 		ma1 := aem.New(cfg)
-		MergeSort(ma1, aem.Load(ma1, in))
+		sorting.MergeSort(ma1, aem.Load(ma1, in))
 		ma2 := aem.New(cfg)
-		EMMergeSort(ma2, aem.Load(ma2, in))
+		sorting.EMMergeSort(ma2, aem.Load(ma2, in))
 
 		ratio := float64(ma1.Cost()) / float64(ma2.Cost())
 		if i == 0 {
@@ -387,9 +373,9 @@ func TestAEMWriteSavingsAtDepth(t *testing.T) {
 	in := workload.Keys(workload.NewRNG(8), workload.Random, 1<<16)
 
 	ma1 := aem.New(cfg)
-	MergeSort(ma1, aem.Load(ma1, in))
+	sorting.MergeSort(ma1, aem.Load(ma1, in))
 	ma2 := aem.New(cfg)
-	EMMergeSort(ma2, aem.Load(ma2, in))
+	sorting.EMMergeSort(ma2, aem.Load(ma2, in))
 
 	if w1, w2 := ma1.Stats().Writes, ma2.Stats().Writes; w1 >= w2 {
 		t.Errorf("AEM writes %d ≥ EM writes %d at ω=64 with deep EM recursion", w1, w2)
@@ -397,7 +383,7 @@ func TestAEMWriteSavingsAtDepth(t *testing.T) {
 }
 
 func TestMergeSortQuick(t *testing.T) {
-	// Property: MergeSort sorts any input on any (small) legal machine.
+	// Property: sorting.MergeSort sorts any input on any (small) legal machine.
 	f := func(keys []int64, mSel, bSel, wSel uint8) bool {
 		b := 1 + int(bSel%8)
 		m := 8*b + int(mSel)
@@ -408,49 +394,33 @@ func TestMergeSortQuick(t *testing.T) {
 		for i, k := range keys {
 			in[i] = aem.Item{Key: k, Aux: int64(i)}
 		}
-		out := MergeSort(ma, aem.Load(ma, in)).Materialize()
-		return IsSorted(out) && SameMultiset(in, out) && ma.MemInUse() == 0
+		out := sorting.MergeSort(ma, aem.Load(ma, in)).Materialize()
+		return sorting.IsSorted(out) && sorting.SameMultiset(in, out) && ma.MemInUse() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestSortItems(t *testing.T) {
-	f := func(keys []int64) bool {
-		items := make([]aem.Item, len(keys))
-		for i, k := range keys {
-			items[i] = aem.Item{Key: k, Aux: int64(i)}
-		}
-		orig := make([]aem.Item, len(items))
-		copy(orig, items)
-		sortItems(items)
-		return IsSorted(items) && SameMultiset(orig, items)
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
-}
-
 func TestIsSortedAndSameMultiset(t *testing.T) {
 	sorted := []aem.Item{it(1, 0), it(1, 1), it(2, 0)}
-	if !IsSorted(sorted) {
-		t.Error("IsSorted(sorted) = false")
+	if !sorting.IsSorted(sorted) {
+		t.Error("sorting.IsSorted(sorted) = false")
 	}
-	if IsSorted([]aem.Item{it(2, 0), it(1, 0)}) {
-		t.Error("IsSorted(unsorted) = true")
+	if sorting.IsSorted([]aem.Item{it(2, 0), it(1, 0)}) {
+		t.Error("sorting.IsSorted(unsorted) = true")
 	}
-	if !IsSorted(nil) {
-		t.Error("IsSorted(nil) = false")
+	if !sorting.IsSorted(nil) {
+		t.Error("sorting.IsSorted(nil) = false")
 	}
-	if !SameMultiset([]aem.Item{it(1, 0), it(1, 0)}, []aem.Item{it(1, 0), it(1, 0)}) {
-		t.Error("SameMultiset equal = false")
+	if !sorting.SameMultiset([]aem.Item{it(1, 0), it(1, 0)}, []aem.Item{it(1, 0), it(1, 0)}) {
+		t.Error("sorting.SameMultiset equal = false")
 	}
-	if SameMultiset([]aem.Item{it(1, 0), it(1, 0)}, []aem.Item{it(1, 0), it(2, 0)}) {
-		t.Error("SameMultiset different = true")
+	if sorting.SameMultiset([]aem.Item{it(1, 0), it(1, 0)}, []aem.Item{it(1, 0), it(2, 0)}) {
+		t.Error("sorting.SameMultiset different = true")
 	}
-	if SameMultiset([]aem.Item{it(1, 0)}, []aem.Item{}) {
-		t.Error("SameMultiset different lengths = true")
+	if sorting.SameMultiset([]aem.Item{it(1, 0)}, []aem.Item{}) {
+		t.Error("sorting.SameMultiset different lengths = true")
 	}
 }
 
@@ -461,7 +431,7 @@ func TestMergeSortPhaseAccounting(t *testing.T) {
 	cfg := aem.Config{M: 128, B: 8, Omega: 8}
 	ma := aem.New(cfg)
 	in := workload.Keys(workload.NewRNG(21), workload.Random, 1<<14)
-	MergeSort(ma, aem.Load(ma, in))
+	sorting.MergeSort(ma, aem.Load(ma, in))
 
 	ph := ma.Phases()
 	if total := ph.Total(); total != ma.Stats() {
@@ -485,11 +455,11 @@ func TestMergeRunsMaxBufferAblation(t *testing.T) {
 	groups, all := makeRuns(workload.NewRNG(22), 4096, cfg.MergeFanout())
 
 	ma1 := aem.New(cfg)
-	out1 := MergeRuns(ma1, loadRuns(ma1, groups), MergeOptions{})
+	out1 := sorting.MergeRuns(ma1, loadRuns(ma1, groups), sorting.MergeOptions{})
 	checkSortResult(t, all, out1)
 
 	ma2 := aem.New(cfg)
-	out2 := MergeRuns(ma2, loadRuns(ma2, groups), MergeOptions{MaxBuffer: 16})
+	out2 := sorting.MergeRuns(ma2, loadRuns(ma2, groups), sorting.MergeOptions{MaxBuffer: 16})
 	checkSortResult(t, all, out2)
 
 	if ma2.Cost() < ma1.Cost() {

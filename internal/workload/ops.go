@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dict"
+)
+
+// Scenario selects the shape of a generated dictionary operation stream.
+// The scenarios span the regimes where write buffering matters most: the
+// uniform baseline, the Zipf-skewed traffic of real key-value workloads
+// (where large buffers absorb repeated writes to hot keys before they ever
+// reach the structure), sequential-insert bursts (the adversarial case for
+// quantile-based skeletons), and churn-heavy delete traffic.
+type Scenario int
+
+const (
+	// UniformOps draws keys uniformly from the keyspace with a mixed
+	// insert/delete/lookup/range op profile.
+	UniformOps Scenario = iota
+	// ZipfOps draws keys from a Zipf(s=1.1) distribution over the
+	// keyspace: a few hot keys take most of the traffic.
+	ZipfOps
+	// SortedBurstOps inserts runs of consecutive keys from a moving
+	// cursor, interleaved with lookups over recently inserted keys.
+	SortedBurstOps
+	// DeleteHeavyOps inserts a working set and then churns it with a
+	// delete-dominated mix.
+	DeleteHeavyOps
+)
+
+// String names the scenario for experiment tables and CLI flags.
+func (s Scenario) String() string {
+	switch s {
+	case UniformOps:
+		return "uniform"
+	case ZipfOps:
+		return "zipf"
+	case SortedBurstOps:
+		return "sortedburst"
+	case DeleteHeavyOps:
+		return "deleteheavy"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// Scenarios lists every scenario, for table-driven tests and sweeps.
+func Scenarios() []Scenario {
+	return []Scenario{UniformOps, ZipfOps, SortedBurstOps, DeleteHeavyOps}
+}
+
+// DictOps generates an n-operation dictionary stream over keys in
+// [0, keyspace). Values are drawn within dict's storable range. Streams
+// are deterministic in (scenario, seed of r, n, keyspace).
+//
+// Queries arrive in bursts rather than one-by-one: batching queries is how
+// an online system amortizes the buffer scans of a write-buffered
+// dictionary, and the generators model that traffic shape (a burst of
+// updates, then a burst of queries).
+func DictOps(r *RNG, sc Scenario, n int, keyspace int64) []dict.Op {
+	if keyspace < 2 {
+		panic(fmt.Sprintf("workload: DictOps needs keyspace ≥ 2, got %d", keyspace))
+	}
+	ops := make([]dict.Op, 0, n)
+	span := keyspace / 64
+	if span < 2 {
+		span = 2
+	}
+	value := func() int64 { return int64(r.Intn(1 << 20)) }
+
+	switch sc {
+	case UniformOps, ZipfOps:
+		var key func() int64
+		if sc == UniformOps {
+			key = func() int64 { return int64(r.Intn(int(keyspace))) }
+		} else {
+			z := newZipf(int(keyspace), 1.1)
+			key = func() int64 { return z.sample(r) }
+		}
+		for len(ops) < n {
+			// A burst of updates...
+			for burst := 8 + r.Intn(56); burst > 0 && len(ops) < n; burst-- {
+				if r.Intn(100) < 22 {
+					ops = append(ops, dict.Op{Kind: dict.Delete, Key: key()})
+				} else {
+					ops = append(ops, dict.Op{Kind: dict.Insert, Key: key(), Value: value()})
+				}
+			}
+			// ...then a burst of queries.
+			for burst := 8 + r.Intn(24); burst > 0 && len(ops) < n; burst-- {
+				if r.Intn(100) < 6 {
+					lo := key()
+					ops = append(ops, dict.Op{Kind: dict.RangeScan, Key: lo, Hi: lo + span})
+				} else {
+					ops = append(ops, dict.Op{Kind: dict.Lookup, Key: key()})
+				}
+			}
+		}
+
+	case SortedBurstOps:
+		cursor := int64(0)
+		for len(ops) < n {
+			start := cursor
+			for burst := 32 + r.Intn(64); burst > 0 && len(ops) < n; burst-- {
+				ops = append(ops, dict.Op{Kind: dict.Insert, Key: cursor, Value: value()})
+				cursor = (cursor + 1) % keyspace
+			}
+			for burst := 4 + r.Intn(12); burst > 0 && len(ops) < n; burst-- {
+				back := int64(r.Intn(128))
+				k := cursor - back
+				if k < 0 {
+					k += keyspace
+				}
+				ops = append(ops, dict.Op{Kind: dict.Lookup, Key: k})
+			}
+			if r.Intn(4) == 0 && len(ops) < n {
+				ops = append(ops, dict.Op{Kind: dict.RangeScan, Key: start, Hi: start + span})
+			}
+		}
+
+	case DeleteHeavyOps:
+		// Build a working set with the first third, then churn it.
+		build := n / 3
+		for len(ops) < build {
+			ops = append(ops, dict.Op{Kind: dict.Insert, Key: int64(r.Intn(int(keyspace))), Value: value()})
+		}
+		for len(ops) < n {
+			for burst := 8 + r.Intn(40); burst > 0 && len(ops) < n; burst-- {
+				k := int64(r.Intn(int(keyspace)))
+				switch {
+				case r.Intn(100) < 55:
+					ops = append(ops, dict.Op{Kind: dict.Delete, Key: k})
+				case r.Intn(100) < 60:
+					ops = append(ops, dict.Op{Kind: dict.Insert, Key: k, Value: value()})
+				default:
+					ops = append(ops, dict.Op{Kind: dict.Lookup, Key: k})
+				}
+			}
+			for burst := 4 + r.Intn(12); burst > 0 && len(ops) < n; burst-- {
+				ops = append(ops, dict.Op{Kind: dict.Lookup, Key: int64(r.Intn(int(keyspace)))})
+			}
+		}
+
+	default:
+		panic(fmt.Sprintf("workload: unknown scenario %v", sc))
+	}
+	return ops
+}
+
+// OpMix counts a stream's operations by kind; experiment tables report it
+// so the workload composition is visible next to the measured costs.
+func OpMix(ops []dict.Op) (inserts, deletes, lookups, ranges int) {
+	for _, op := range ops {
+		switch op.Kind {
+		case dict.Insert:
+			inserts++
+		case dict.Delete:
+			deletes++
+		case dict.Lookup:
+			lookups++
+		case dict.RangeScan:
+			ranges++
+		}
+	}
+	return
+}
+
+// zipf samples from a Zipf(s) distribution over {0, …, n−1} by inverting
+// the exact cumulative distribution (precomputed once; sampling costs one
+// Float64 and a binary search). Rank r has probability ∝ 1/(r+1)^s.
+type zipf struct {
+	cum []float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipf{cum: cum}
+}
+
+func (z *zipf) sample(r *RNG) int64 {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}

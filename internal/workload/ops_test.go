@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/dict"
+)
+
+func TestDictOpsDeterministicAndWellFormed(t *testing.T) {
+	for _, sc := range Scenarios() {
+		a := DictOps(NewRNG(7), sc, 5000, 1024)
+		b := DictOps(NewRNG(7), sc, 5000, 1024)
+		if len(a) != 5000 {
+			t.Fatalf("%v: generated %d ops, want 5000", sc, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: stream not deterministic at op %d", sc, i)
+			}
+			op := a[i]
+			if op.Key < 0 || op.Key >= 1024 {
+				t.Fatalf("%v: op %d key %d outside keyspace", sc, i, op.Key)
+			}
+			if op.Kind == dict.Insert && (op.Value < 0 || op.Value > dict.MaxValue) {
+				t.Fatalf("%v: op %d value %d unstorable", sc, i, op.Value)
+			}
+			if op.Kind == dict.RangeScan && op.Hi <= op.Key {
+				t.Fatalf("%v: op %d empty range [%d,%d)", sc, i, op.Key, op.Hi)
+			}
+		}
+	}
+}
+
+func TestDictOpsMixes(t *testing.T) {
+	const n = 20000
+	for _, sc := range Scenarios() {
+		ins, del, look, rng := OpMix(DictOps(NewRNG(3), sc, n, 4096))
+		if ins+del+look+rng != n {
+			t.Fatalf("%v: mix does not sum to n", sc)
+		}
+		if ins == 0 || look == 0 {
+			t.Errorf("%v: degenerate mix ins=%d del=%d look=%d range=%d", sc, ins, del, look, rng)
+		}
+		if sc == DeleteHeavyOps && del < ins/2 {
+			t.Errorf("delete-heavy mix has too few deletes: ins=%d del=%d", ins, del)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := newZipf(1024, 1.1)
+	r := NewRNG(11)
+	counts := make([]int, 1024)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.sample(r)]++
+	}
+	// Rank 0 must dominate: with s=1.1 over 1024 keys its mass is ~13%.
+	if counts[0] < draws/20 {
+		t.Errorf("zipf rank 0 drew %d of %d, expected a heavy head", counts[0], draws)
+	}
+	if counts[0] <= counts[512] {
+		t.Errorf("zipf head %d not heavier than tail %d", counts[0], counts[512])
+	}
+}
