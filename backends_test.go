@@ -114,6 +114,32 @@ func TestAlgorithmsIdenticalAcrossDataBackends(t *testing.T) {
 			q.Close()
 			return out
 		}},
+		{"pq-adaptive-interleaved", func(ma *aem.Machine) []aem.Item {
+			// Same lifecycle through the ω-adaptive queue: buffer appends,
+			// selection scans, folds and lazy merges must be byte-identical
+			// across engines too.
+			q := pq.NewAdaptive(ma)
+			var out []aem.Item
+			for i, it := range in[:1024] {
+				q.Push(it)
+				if i%3 == 2 {
+					got, ok := q.DeleteMin()
+					if !ok {
+						panic("pq: empty during interleave")
+					}
+					out = append(out, got)
+				}
+			}
+			for {
+				got, ok := q.DeleteMin()
+				if !ok {
+					break
+				}
+				out = append(out, got)
+			}
+			q.Close()
+			return out
+		}},
 		{"dict-buffertree", func(ma *aem.Machine) []aem.Item {
 			return dictConformanceRun(dict.NewBufferTree(ma))
 		}},

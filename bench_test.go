@@ -152,6 +152,20 @@ func BenchmarkHeapSort(b *testing.B) {
 	b.ReportMetric(float64(cost), "aem-cost")
 }
 
+// EXP-Q1: the ω-adaptive buffered heapsort on the same input/machine.
+func BenchmarkAdaptiveHeapSort(b *testing.B) {
+	const n = 1 << 13
+	in := workload.Keys(workload.NewRNG(12), workload.Random, n)
+	cfg := aem.Config{M: 256, B: 8, Omega: 16}
+	var cost int64
+	for i := 0; i < b.N; i++ {
+		ma := aem.New(cfg)
+		pq.AdaptiveHeapSort(ma, aem.Load(ma, in))
+		cost = ma.Cost()
+	}
+	b.ReportMetric(float64(cost), "aem-cost")
+}
+
 // EXP-R2: Lemma 4.1 on a recorded mergesort trace.
 func BenchmarkTraceConversion(b *testing.B) {
 	cfg := aem.Config{M: 64, B: 8, Omega: 8}

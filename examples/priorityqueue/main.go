@@ -1,8 +1,17 @@
 // Priority queue scenario: discrete-event simulation on NVM-resident
-// state. Events live in an external-memory sequence heap; each processed
+// state. Events live in an external-memory priority queue; each processed
 // event schedules follow-up events (here: a token-passing cascade), so
 // Push and DeleteMin interleave — the access pattern that distinguishes a
 // priority queue from a sort.
+//
+// The same event loop runs on both queues: the classic sequence heap,
+// which flushes a run every M/8 insertions whatever writes cost, and the
+// ω-adaptive buffered queue, which batches pushes in a Θ(ωM) external
+// buffer and serves deletions with read-only selection scans until the
+// read rent matches a fold's ω-weighted write bill. Event traffic is
+// monotone (follow-ups schedule strictly later), the adaptive queue's
+// best regime: most events are consumed straight from run frontiers and
+// the buffer folds only when the clock catches up with it.
 //
 //	go run ./examples/priorityqueue
 package main
@@ -15,22 +24,23 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	cfg := core.Config{M: 512, B: 16, Omega: 16}
-	ma := core.NewMachine(cfg)
-	q := core.NewPriorityQueue(ma)
+// seedEvents is the number of initially scheduled events.
+const seedEvents = 5000
 
-	// Seed the simulation with initial events at random times.
+// simulate runs the event loop and returns how many events were processed.
+func simulate(q interface {
+	Push(aem.Item)
+	DeleteMin() (aem.Item, bool)
+	Close()
+}) int {
 	rng := workload.NewRNG(99)
-	const seedEvents = 5000
 	var id int64
 	for i := 0; i < seedEvents; i++ {
-		q.Push(aem.Item{Key: int64(rng.Intn(1 << 20)), Aux: id})
+		q.Push(aem.Item{Key: int64(rng.Intn(1 << 14)), Aux: id})
 		id++
 	}
-
-	// Run the event loop: each event has a 1/3 chance of scheduling a
-	// follow-up at a strictly later time (so the simulation terminates).
+	// Each event has a 1/3 chance of scheduling a follow-up at a strictly
+	// later time (so the simulation terminates).
 	var processed int
 	var lastTime int64 = -1
 	for {
@@ -49,13 +59,31 @@ func main() {
 		}
 	}
 	q.Close()
+	return processed
+}
 
-	st := ma.Stats()
+func main() {
+	cfg := core.Config{M: 256, B: 16, Omega: 16}
+
+	maSeq := core.NewMachine(cfg)
+	processed := simulate(core.NewPriorityQueue(maSeq))
+
+	maAd := core.NewMachine(cfg)
+	qa := core.NewAdaptivePriorityQueue(maAd)
+	if p := simulate(qa); p != processed {
+		panic("queues processed different event counts")
+	}
+
+	stS, stA := maSeq.Stats(), maAd.Stats()
 	fmt.Printf("discrete-event simulation on a (M=%d, B=%d, ω=%d)-AEM\n", cfg.M, cfg.B, cfg.Omega)
-	fmt.Printf("  events processed  %d (%d seeded, %d cascaded)\n", processed, seedEvents, processed-seedEvents)
-	fmt.Printf("  event order       verified monotone in time\n")
-	fmt.Printf("  reads             %d\n", st.Reads)
-	fmt.Printf("  writes            %d   (%.2f per event — the sequence heap batches them)\n",
-		st.Writes, float64(st.Writes)/float64(processed))
-	fmt.Printf("  cost Q            %d\n", ma.Cost())
+	fmt.Printf("  events processed  %d (%d seeded, %d cascaded) — identical on both queues\n",
+		processed, seedEvents, processed-seedEvents)
+	fmt.Printf("  event order       verified monotone in time\n\n")
+	fmt.Printf("  sequence heap     reads %6d  writes %5d (%.2f per event)  cost Q %d\n",
+		stS.Reads, stS.Writes, float64(stS.Writes)/float64(processed), maSeq.Cost())
+	fmt.Printf("  ω-adaptive queue  reads %6d  writes %5d (%.2f per event)  cost Q %d\n",
+		stA.Reads, stA.Writes, float64(stA.Writes)/float64(processed), maAd.Cost())
+	fmt.Printf("  cost advantage    %.2f× — the Θ(ωM) buffer absorbed pushes in %d folds,\n",
+		float64(maSeq.Cost())/float64(maAd.Cost()), qa.Folds())
+	fmt.Printf("                    trading ω-weighted run writes for read-only selection scans\n")
 }

@@ -33,10 +33,11 @@ func TestSortersAgree(t *testing.T) {
 				"samplesort": func(ma *aem.Machine, v *aem.Vector) *aem.Vector {
 					return sorting.EMSampleSort(ma, v, 5)
 				},
-				"heapsort": pq.HeapSort,
+				"heapsort":          pq.HeapSort,
+				"adaptive-heapsort": pq.AdaptiveHeapSort,
 			} {
-				if name == "heapsort" && cfg.M < 16*cfg.B {
-					continue // below the sequence heap's documented minimum
+				if (name == "heapsort" || name == "adaptive-heapsort") && cfg.M < 16*cfg.B {
+					continue // below the queues' documented minimum
 				}
 				ma := aem.New(cfg)
 				got := sortFn(ma, aem.Load(ma, in)).Materialize()
@@ -122,7 +123,8 @@ func TestCountingBoundFloorsEverySorter(t *testing.T) {
 		"samplesort": func(ma *aem.Machine, v *aem.Vector) *aem.Vector {
 			return sorting.EMSampleSort(ma, v, 6)
 		},
-		"heapsort": pq.HeapSort,
+		"heapsort":          pq.HeapSort,
+		"adaptive-heapsort": pq.AdaptiveHeapSort,
 	} {
 		ma := aem.New(cfg)
 		sortFn(ma, aem.Load(ma, in))

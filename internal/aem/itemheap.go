@@ -1,0 +1,81 @@
+package aem
+
+// InsertSorted inserts it into the ascending ((Key, Aux)-ordered) slice,
+// returning the grown slice. It is the shared helper behind every small
+// sorted in-memory buffer in the repository (deletion buffers, stashes,
+// selection lists); internal computation is free in the model, but one
+// implementation keeps the ordering rule in one place.
+func InsertSorted(buf []Item, it Item) []Item {
+	lo, hi := 0, len(buf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Less(buf[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	buf = append(buf, Item{})
+	copy(buf[lo+1:], buf[lo:])
+	buf[lo] = it
+	return buf
+}
+
+// ItemHeap is a binary heap of Items in the (Key, Aux) total order. The
+// zero value is an empty min-heap; set Max for a max-heap (used to retain
+// the k smallest of a stream by evicting the root). Like InsertSorted it
+// is free internal computation — a shared structure for the model's
+// in-memory bookkeeping, not a costed data structure.
+type ItemHeap struct {
+	items []Item
+	// Max flips the order: the root is the largest item.
+	Max bool
+}
+
+func (h *ItemHeap) before(a, b Item) bool {
+	if h.Max {
+		return Less(b, a)
+	}
+	return Less(a, b)
+}
+
+// Len returns the number of items held.
+func (h *ItemHeap) Len() int { return len(h.items) }
+
+// Peek returns the root (minimum, or maximum for a Max heap) without
+// removing it. The heap must be non-empty.
+func (h *ItemHeap) Peek() Item { return h.items[0] }
+
+// Push adds an item.
+func (h *ItemHeap) Push(it Item) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 && h.before(h.items[i], h.items[(i-1)/2]) {
+		h.items[i], h.items[(i-1)/2] = h.items[(i-1)/2], h.items[i]
+		i = (i - 1) / 2
+	}
+}
+
+// Pop removes and returns the root. The heap must be non-empty.
+func (h *ItemHeap) Pop() Item {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < len(h.items) && h.before(h.items[l], h.items[next]) {
+			next = l
+		}
+		if r < len(h.items) && h.before(h.items[r], h.items[next]) {
+			next = r
+		}
+		if next == i {
+			return top
+		}
+		h.items[i], h.items[next] = h.items[next], h.items[i]
+		i = next
+	}
+}

@@ -42,8 +42,16 @@ const streamSinkBufSize = 1 << 16
 // StreamSink encodes operations as text lines — "R 42\n" / "W 7\n", the
 // kind "R" or "W" followed by the block address — and writes them to w
 // through an internal buffer, flushed whenever it fills. Memory use is
-// O(1) in the trace length. Call Flush when the traced execution is done;
-// the first write error sticks and is reported there.
+// O(1) in the trace length.
+//
+// Error contract: the first write error is sticky. Operations recorded
+// after it are counted by Len but not encoded or written — the sink goes
+// quiet, the traced computation proceeds — and the error is reported by
+// every subsequent Flush. Len therefore always equals the number of
+// operations the machine performed while the sink was installed, whether
+// or not the underlying writer accepted them; callers that need to know
+// whether the encoded stream is complete must check Flush's error, not
+// compare lengths.
 type StreamSink struct {
 	w   io.Writer
 	buf []byte
@@ -58,8 +66,9 @@ func NewStreamSink(w io.Writer) *StreamSink {
 
 // Record implements TraceSink. It never allocates once the buffer exists.
 func (s *StreamSink) Record(op TraceOp) {
+	s.n++
 	if s.err != nil {
-		return
+		return // sticky error: counted, not encoded (see the type docs)
 	}
 	if op.Kind == OpRead {
 		s.buf = append(s.buf, 'R', ' ')
@@ -68,13 +77,13 @@ func (s *StreamSink) Record(op TraceOp) {
 	}
 	s.buf = strconv.AppendInt(s.buf, int64(op.Addr), 10)
 	s.buf = append(s.buf, '\n')
-	s.n++
 	if len(s.buf) >= streamSinkBufSize-32 {
 		s.flush()
 	}
 }
 
-// Len returns the number of operations recorded so far.
+// Len returns the number of operations recorded so far, including any
+// dropped after a sticky write error (see the type docs).
 func (s *StreamSink) Len() int64 { return s.n }
 
 // Flush writes any buffered operations to the underlying writer and

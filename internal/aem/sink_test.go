@@ -87,7 +87,8 @@ func (w *failingWriter) Write(p []byte) (int, error) {
 func TestStreamSinkStickyError(t *testing.T) {
 	w := &failingWriter{}
 	s := NewStreamSink(w)
-	for i := 0; i < 100_000; i++ {
+	const ops = 100_000
+	for i := 0; i < ops; i++ {
 		s.Record(TraceOp{OpWrite, Addr(i)})
 	}
 	if err := s.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
@@ -95,6 +96,34 @@ func TestStreamSinkStickyError(t *testing.T) {
 	}
 	if w.calls != 1 {
 		t.Errorf("writer called %d times after first error, want 1 (error is sticky)", w.calls)
+	}
+	// Len counts every recorded operation, including those dropped after
+	// the sticky error — it reports what the machine did, and Flush's
+	// error reports that the encoded stream is incomplete.
+	if s.Len() != ops {
+		t.Errorf("Len() = %d after sticky error, want %d", s.Len(), ops)
+	}
+}
+
+func TestStreamSinkLenCountsPostErrorOps(t *testing.T) {
+	// The error strikes mid-trace: ops before and after it must all be
+	// counted, and repeated Flush keeps returning the first error.
+	w := &failingWriter{}
+	s := NewStreamSink(w)
+	s.Record(TraceOp{OpRead, 1})
+	if err := s.Flush(); err == nil {
+		t.Fatal("first Flush should surface the write error")
+	}
+	s.Record(TraceOp{OpWrite, 2})
+	s.Record(TraceOp{OpRead, 3})
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d, want 3 (post-error ops undercounted)", s.Len())
+	}
+	if err := s.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("second Flush() = %v, want the sticky disk full error", err)
+	}
+	if w.calls != 1 {
+		t.Errorf("writer retried after sticky error (%d calls)", w.calls)
 	}
 }
 

@@ -1,0 +1,99 @@
+package bounds_test
+
+import (
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/pq"
+	"repro/internal/workload"
+)
+
+// The file lives in the external test package: the workload generators
+// feed internal/pq here, and bounds itself must not depend on pq.
+
+// runPQ drives one queue over a stream and returns the machine.
+func runPQ(cfg aem.Config, ops []workload.PQOp, adaptive bool) *aem.Machine {
+	ma := aem.New(cfg)
+	var q interface {
+		Push(aem.Item)
+		DeleteMin() (aem.Item, bool)
+	}
+	if adaptive {
+		q = pq.NewAdaptive(ma)
+	} else {
+		q = pq.New(ma)
+	}
+	for _, op := range ops {
+		if op.Kind == workload.PQPush {
+			q.Push(op.Item)
+		} else {
+			q.DeleteMin()
+		}
+	}
+	return ma
+}
+
+// TestPQPredictorsWithinBand pins both queue predictors against the real
+// implementations on the EXP-Q1 grid: measured/predicted must stay inside
+// [0.5, 2] for reads, writes and total cost, on every scenario and ω. The
+// policy walk prices events with the paper's per-pass formulas, so a
+// drift outside the band means the implementation's I/O no longer matches
+// its amortized design — a regression, not noise.
+func TestPQPredictorsWithinBand(t *testing.T) {
+	const n = 24000
+	for _, sc := range workload.PQScenarios() {
+		ops := workload.PQOps(workload.NewRNG(20170724+16), sc, n)
+		for _, w := range []int{1, 8, 64} {
+			cfg := aem.Config{M: 256, B: 16, Omega: w}
+			p := bounds.PQParamsFor(cfg, ops)
+			for name, c := range map[string]struct {
+				st   aem.Stats
+				cost int64
+				pred bounds.PredictedIO
+			}{
+				"adaptive": {runPQ(cfg, ops, true).Stats(),
+					runPQ(cfg, ops, true).Cost(), bounds.PQAdaptivePredicted(p)},
+				"sequence": {runPQ(cfg, ops, false).Stats(),
+					runPQ(cfg, ops, false).Cost(), bounds.PQSequenceHeapPredicted(p)},
+			} {
+				for metric, pair := range map[string][2]float64{
+					"reads":  {float64(c.st.Reads), c.pred.Reads},
+					"writes": {float64(c.st.Writes), c.pred.Writes},
+					"cost":   {float64(c.cost), c.pred.Cost(w)},
+				} {
+					ratio := pair[0] / pair[1]
+					if ratio < 0.5 || ratio > 2 {
+						t.Errorf("%s/%s ω=%d: %s measured/predicted = %.2f outside [0.5, 2]",
+							sc, name, w, metric, ratio)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPQParamsForShape sanity-checks the stream-derived workload
+// description itself.
+func TestPQParamsForShape(t *testing.T) {
+	const n = 6000
+	ops := workload.PQOps(workload.NewRNG(3), workload.MixedPQ, n)
+	pushes, deletes := workload.PQOpMix(ops)
+	cfg := aem.Config{M: 256, B: 16, Omega: 8}
+	p := bounds.PQParamsFor(cfg, ops)
+	if p.N != n || p.Pushes != pushes || p.Deletes != deletes {
+		t.Fatalf("params N=%d P=%d D=%d, want %d/%d/%d", p.N, p.Pushes, p.Deletes, n, pushes, deletes)
+	}
+	if p.Absorbed < 0 || p.Absorbed > p.Deletes {
+		t.Fatalf("Absorbed = %d outside [0, %d]", p.Absorbed, p.Deletes)
+	}
+	if p.Folds < 0 || p.Scans < 0 {
+		t.Fatalf("negative walk outputs: folds=%d scans=%d", p.Folds, p.Scans)
+	}
+	// More expensive writes must predict fewer folds: the rent budget
+	// grows with ω.
+	pHi := bounds.PQParamsFor(aem.Config{M: 256, B: 16, Omega: 64}, ops)
+	if pHi.Folds > p.Folds {
+		t.Errorf("predicted folds rose with ω: %d (ω=8) → %d (ω=64)", p.Folds, pHi.Folds)
+	}
+}

@@ -59,6 +59,9 @@ var (
 	EMSampleSort = sorting.EMSampleSort
 	// HeapSort is the sequence-heap (priority queue) sorting baseline.
 	HeapSort = pq.HeapSort
+	// AdaptiveHeapSort is the heapsort over the ω-adaptive buffered
+	// priority queue: O(ω·n·log_{ωm} n) like the §3 mergesort.
+	AdaptiveHeapSort = pq.AdaptiveHeapSort
 )
 
 // PriorityQueue is the external-memory sequence heap substrate.
@@ -66,6 +69,14 @@ type PriorityQueue = pq.Queue
 
 // NewPriorityQueue creates an empty external priority queue on ma.
 func NewPriorityQueue(ma *Machine) *PriorityQueue { return pq.New(ma) }
+
+// AdaptivePriorityQueue is the ω-adaptive buffered priority queue: pushes
+// batch through a Θ(ωM) external insertion buffer and deletions prefer
+// read-only selection scans over ω-weighted folds.
+type AdaptivePriorityQueue = pq.Adaptive
+
+// NewAdaptivePriorityQueue creates an empty ω-adaptive priority queue.
+func NewAdaptivePriorityQueue(ma *Machine) *AdaptivePriorityQueue { return pq.NewAdaptive(ma) }
 
 // Trace-level round machinery (Section 4 applied to real executions).
 var (

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/pq"
+	"repro/internal/workload"
+)
+
+// TestPQExperimentAcceptance pins EXP-Q1's claims as hard assertions: the
+// ω-adaptive buffered queue's cost grows sublinearly in ω while the
+// ω-oblivious sequence heap's grows ~linearly, the gap widens with ω, and
+// measured costs stay within 2× of the bounds predictions — the
+// acceptance criteria of the adaptive-pq issue.
+func TestPQExperimentAcceptance(t *testing.T) {
+	const n = 24000
+	omegas := []int{1, 4, 8, 16, 32, 64}
+	for _, sc := range []workload.PQScenario{workload.MixedPQ, workload.MonotonePQ} {
+		ops := workload.PQOps(workload.NewRNG(Seed+16), sc, n)
+		adCost := make([]float64, len(omegas))
+		seqCost := make([]float64, len(omegas))
+		adWrites := make([]float64, len(omegas))
+		adFolds := make([]int, len(omegas))
+		for i, w := range omegas {
+			cfg := aem.Config{M: 256, B: 16, Omega: w}
+			maA := aem.New(cfg)
+			qa := pq.NewAdaptive(maA)
+			runPQStream(qa, ops)
+			maS := aem.New(cfg)
+			runPQStream(pq.New(maS), ops)
+			adCost[i] = float64(maA.Cost())
+			seqCost[i] = float64(maS.Cost())
+			adWrites[i] = float64(maA.Stats().Writes)
+			adFolds[i] = qa.Folds()
+
+			p := bounds.PQParamsFor(cfg, ops)
+			for name, pair := range map[string][2]float64{
+				"adaptive cost": {adCost[i], bounds.PQAdaptivePredicted(p).Cost(w)},
+				"sequence cost": {seqCost[i], bounds.PQSequenceHeapPredicted(p).Cost(w)},
+			} {
+				ratio := pair[0] / pair[1]
+				if ratio < 0.5 || ratio > 2 {
+					t.Errorf("%s ω=%d: %s measured/predicted = %.2f outside [0.5, 2]", sc, w, name, ratio)
+				}
+			}
+		}
+
+		// Sublinear vs ~linear: over a 64× growth in ω the adaptive
+		// queue's cost must grow by well under half of it, while the
+		// sequence heap — whose reads and writes are ω-independent — must
+		// track ω itself once ω dominates.
+		wSpan := float64(omegas[len(omegas)-1]) / float64(omegas[0])
+		adGrowth := adCost[len(adCost)-1] / adCost[0]
+		if adGrowth > wSpan/2 {
+			t.Errorf("%s: adaptive cost grew %.1f× over a %.0f× ω span — not sublinear", sc, adGrowth, wSpan)
+		}
+		top := (seqCost[len(seqCost)-1] - seqCost[len(seqCost)-2]) /
+			(float64(omegas[len(omegas)-1]) - float64(omegas[len(omegas)-2]))
+		bottom := (seqCost[2] - seqCost[1]) / (float64(omegas[2]) - float64(omegas[1]))
+		if top < 0.5*bottom || top > 2*bottom {
+			t.Errorf("%s: sequence-heap marginal cost/ω drifted (%.0f vs %.0f) — not ~linear in ω", sc, top, bottom)
+		}
+		// And the gap must widen: buffering wins more the more writes cost.
+		if seqCost[len(seqCost)-1]/adCost[len(adCost)-1] <= seqCost[0]/adCost[0] {
+			t.Errorf("%s: sequence/adaptive cost gap did not widen with ω", sc)
+		}
+
+		// On monotone traffic no below-watermark churn pins the fold
+		// floor, so the ω-adaptivity must show in full: folds and write
+		// volume fall hard as ω grows. A regression to ω-oblivious
+		// folding (constant folds/writes across ω) fails here even if the
+		// loose growth bounds above still pass.
+		if sc == workload.MonotonePQ {
+			if adFolds[len(adFolds)-1]*4 > adFolds[0] {
+				t.Errorf("monotone: folds fell only %d → %d over a 64× ω span — rent policy not ω-adaptive",
+					adFolds[0], adFolds[len(adFolds)-1])
+			}
+			if adWrites[len(adWrites)-1]*2 > adWrites[0] {
+				t.Errorf("monotone: writes fell only %.0f → %.0f over a 64× ω span",
+					adWrites[0], adWrites[len(adWrites)-1])
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package pq
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aem"
+	"repro/internal/sorting"
+	"repro/internal/workload"
+)
+
+func TestAdaptiveInterleavedAgainstReferenceHeap(t *testing.T) {
+	rng := workload.NewRNG(7)
+	ma := aem.New(pqConfig())
+	q := NewAdaptive(ma)
+	ref := &refHeap{}
+	var key int64
+	for step := 0; step < 20000; step++ {
+		if ref.Len() == 0 || rng.Intn(3) != 0 {
+			it := aem.Item{Key: int64(rng.Intn(1000)), Aux: key}
+			key++
+			q.Push(it)
+			heap.Push(ref, it)
+		} else {
+			got, ok := q.DeleteMin()
+			want := heap.Pop(ref).(aem.Item)
+			if !ok || got != want {
+				t.Fatalf("step %d: DeleteMin = %v, want %v", step, got, want)
+			}
+		}
+	}
+	for ref.Len() > 0 {
+		got, _ := q.DeleteMin()
+		want := heap.Pop(ref).(aem.Item)
+		if got != want {
+			t.Fatalf("drain: got %v, want %v", got, want)
+		}
+	}
+	q.Close()
+	if ma.MemInUse() != 0 {
+		t.Fatalf("leaked %d memory slots", ma.MemInUse())
+	}
+}
+
+func TestAdaptiveEmptyQueueAndMin(t *testing.T) {
+	ma := aem.New(pqConfig())
+	q := NewAdaptive(ma)
+	if _, ok := q.DeleteMin(); ok {
+		t.Error("DeleteMin on empty queue returned ok")
+	}
+	if _, ok := q.Min(); ok {
+		t.Error("Min on empty queue returned ok")
+	}
+	q.Push(aem.Item{Key: 5})
+	q.Push(aem.Item{Key: 3})
+	if it, ok := q.Min(); !ok || it.Key != 3 {
+		t.Fatalf("Min = %v, %t", it, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Min removed an item: Len = %d", q.Len())
+	}
+	if it, _ := q.DeleteMin(); it.Key != 3 {
+		t.Fatalf("DeleteMin = %v", it)
+	}
+	if it, _ := q.DeleteMin(); it.Key != 5 {
+		t.Fatalf("second DeleteMin = %v", it)
+	}
+	q.Close()
+}
+
+func TestAdaptiveHeapSort(t *testing.T) {
+	for _, dist := range workload.Dists() {
+		for _, n := range []int{0, 1, 100, 2000, 8000} {
+			ma := aem.New(pqConfig())
+			in := workload.Keys(workload.NewRNG(uint64(n)+5), dist, n)
+			out := AdaptiveHeapSort(ma, aem.Load(ma, in)).Materialize()
+			if !sorting.IsSorted(out) {
+				t.Fatalf("dist=%v n=%d: not sorted", dist, n)
+			}
+			if !sorting.SameMultiset(in, out) {
+				t.Fatalf("dist=%v n=%d: multiset broken", dist, n)
+			}
+			if ma.MemInUse() != 0 {
+				t.Fatalf("dist=%v n=%d: leaked %d slots", dist, n, ma.MemInUse())
+			}
+		}
+	}
+}
+
+func TestAdaptiveTooSmallMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for M < 16B")
+		}
+	}()
+	NewAdaptive(aem.New(aem.Config{M: 32, B: 4, Omega: 2}))
+}
+
+// TestAdaptiveOmegaAdvantage pins the tentpole behavior on an interleaved
+// stream: as ω grows the adaptive queue folds less (the rent-or-buy
+// policy defers structural writes), its writes/op falls, and the cost gap
+// to the ω-oblivious sequence heap widens.
+func TestAdaptiveOmegaAdvantage(t *testing.T) {
+	const n = 12000
+	ops := workload.PQOps(workload.NewRNG(11), workload.MonotonePQ, n)
+	type point struct {
+		folds        int
+		writes       int64
+		cost, seqqed int64
+	}
+	var pts []point
+	for _, w := range []int{1, 8, 64} {
+		cfg := aem.Config{M: 256, B: 16, Omega: w}
+		maA := aem.New(cfg)
+		qa := NewAdaptive(maA)
+		maS := aem.New(cfg)
+		qs := New(maS)
+		for _, op := range ops {
+			if op.Kind == workload.PQPush {
+				qa.Push(op.Item)
+				qs.Push(op.Item)
+			} else {
+				ga, oka := qa.DeleteMin()
+				gs, oks := qs.DeleteMin()
+				if !oka || !oks || ga != gs {
+					t.Fatalf("queues disagree: %v/%t vs %v/%t", ga, oka, gs, oks)
+				}
+			}
+		}
+		pts = append(pts, point{qa.Folds(), maA.Stats().Writes, maA.Cost(), maS.Cost()})
+	}
+	if !(pts[0].folds > pts[1].folds && pts[1].folds > pts[2].folds) {
+		t.Errorf("folds did not fall with ω: %d, %d, %d", pts[0].folds, pts[1].folds, pts[2].folds)
+	}
+	if !(pts[0].writes > pts[2].writes) {
+		t.Errorf("writes did not fall with ω: %d → %d", pts[0].writes, pts[2].writes)
+	}
+	gapLow := float64(pts[0].seqqed) / float64(pts[0].cost)
+	gapHigh := float64(pts[2].seqqed) / float64(pts[2].cost)
+	if gapHigh <= gapLow {
+		t.Errorf("sequence/adaptive cost gap did not widen with ω: %.2f → %.2f", gapLow, gapHigh)
+	}
+}
+
+func TestAdaptiveQuickRandomOps(t *testing.T) {
+	f := func(seed uint64, opsSel []byte) bool {
+		rng := workload.NewRNG(seed)
+		ma := aem.New(aem.Config{M: 128, B: 4, Omega: 2})
+		q := NewAdaptive(ma)
+		ref := &refHeap{}
+		var key int64
+		for _, b := range opsSel {
+			if ref.Len() == 0 || b%4 != 0 {
+				it := aem.Item{Key: int64(rng.Intn(64)), Aux: key}
+				key++
+				q.Push(it)
+				heap.Push(ref, it)
+			} else {
+				got, ok := q.DeleteMin()
+				want := heap.Pop(ref).(aem.Item)
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		for ref.Len() > 0 {
+			got, _ := q.DeleteMin()
+			if got != heap.Pop(ref).(aem.Item) {
+				return false
+			}
+		}
+		q.Close()
+		return ma.MemInUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

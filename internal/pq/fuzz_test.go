@@ -1,0 +1,105 @@
+// Native Go fuzz target for the priority-queue layer: byte inputs decode
+// into a machine corner plus a push/deletemin stream, and every decoded
+// stream runs through both queues against container/heap. The seed corpus
+// comes from the workload generators, so fuzzing starts from realistic
+// mixed/sawtooth/monotone traffic and mutates from there.
+package pq
+
+import (
+	"container/heap"
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/workload"
+)
+
+// fuzzPQConfigs are the machine corners the fuzzer cycles through; they
+// include B = 1 (ARAM) and ω = 1 (symmetric EM).
+var fuzzPQConfigs = []aem.Config{
+	{M: 64, B: 4, Omega: 4},
+	{M: 256, B: 16, Omega: 16},
+	{M: 32, B: 1, Omega: 8},
+	{M: 128, B: 8, Omega: 1},
+}
+
+// decodePQOps turns fuzz bytes into a machine config and an op stream:
+// one leading config byte, then 3 bytes per op (kind, key-low, key-high).
+// Deletes on an empty queue are dropped, matching the generator contract.
+func decodePQOps(data []byte) (aem.Config, []workload.PQOp) {
+	if len(data) == 0 {
+		return fuzzPQConfigs[0], nil
+	}
+	cfg := fuzzPQConfigs[int(data[0])%len(fuzzPQConfigs)]
+	data = data[1:]
+	if len(data) > 3*768 {
+		data = data[:3*768]
+	}
+	var ops []workload.PQOp
+	size := 0
+	var seq int64
+	for i := 0; i+3 <= len(data); i += 3 {
+		if data[i]%3 == 0 && size > 0 {
+			ops = append(ops, workload.PQOp{Kind: workload.PQDeleteMin})
+			size--
+		} else {
+			key := int64(data[i+1]) | int64(data[i+2])<<8
+			ops = append(ops, workload.PQOp{Kind: workload.PQPush,
+				Item: aem.Item{Key: key, Aux: seq}})
+			seq++
+			size++
+		}
+	}
+	return cfg, ops
+}
+
+// encodePQOps is decodePQOps's inverse for seeding the corpus from
+// generated workloads.
+func encodePQOps(cfgIdx byte, ops []workload.PQOp) []byte {
+	out := []byte{cfgIdx}
+	for _, op := range ops {
+		if op.Kind == workload.PQDeleteMin {
+			out = append(out, 0, 0, 0)
+		} else {
+			k := op.Item.Key & 0xffff
+			out = append(out, 1, byte(k), byte(k>>8))
+		}
+	}
+	return out
+}
+
+func FuzzPQOps(f *testing.F) {
+	for i, sc := range workload.PQScenarios() {
+		ops := workload.PQOps(workload.NewRNG(uint64(i)+1), sc, 600)
+		f.Add(encodePQOps(byte(i), ops))
+	}
+	f.Add([]byte{1, 1, 9, 0, 1, 3, 0, 0, 0, 0, 1, 2, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, ops := decodePQOps(data)
+		for name, q := range map[string]minQueue{
+			"sequence": New(aem.New(cfg)),
+			"adaptive": NewAdaptive(aem.New(cfg)),
+		} {
+			ref := &refHeap{}
+			for i, op := range ops {
+				if op.Kind == workload.PQPush {
+					q.Push(op.Item)
+					heap.Push(ref, op.Item)
+				} else {
+					got, ok := q.DeleteMin()
+					want := heap.Pop(ref).(aem.Item)
+					if !ok || got != want {
+						t.Fatalf("%s op %d: DeleteMin = %v, %t, want %v", name, i, got, ok, want)
+					}
+				}
+			}
+			for ref.Len() > 0 {
+				got, _ := q.DeleteMin()
+				if want := heap.Pop(ref).(aem.Item); got != want {
+					t.Fatalf("%s drain: got %v, want %v", name, got, want)
+				}
+			}
+			q.Close()
+		}
+	})
+}

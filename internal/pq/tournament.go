@@ -1,0 +1,107 @@
+package pq
+
+import "repro/internal/aem"
+
+// frontierTree is a tournament (winner) tree over the frontiers of live
+// runs. It replaces the refill loop's linear head scan: selecting the
+// global minimum costs O(log k) head comparisons per extracted item
+// instead of O(k), where k is the number of live runs — internal
+// computation is free in the model, but the linear scan made large refills
+// quadratic in wall-clock time.
+//
+// The tree performs exactly the same I/O as the scan it replaces: building
+// it loads each live run's current frontier block (the scan loaded every
+// live run's frontier on its first iteration), and popping advances one
+// run's cursor, loading its next block only when the cursor crosses a
+// block boundary — identical to the scan's lazy loadFrontier. Ties between
+// equal heads are broken by run order, matching the scan's first-wins
+// rule, so the refill sequence (and with it every downstream I/O) is
+// unchanged bit for bit.
+type frontierTree struct {
+	runs  []*run // leaves, in the queue's level-then-index iteration order
+	win   []int  // win[p] = index into runs of the winner under node p; -1 = empty
+	size  int    // leaf capacity, a power of two
+	load  func(*run)
+	dirty int // leaf whose cursor advanced but whose path is not replayed; -1 = none
+}
+
+// newFrontierTree builds a tree over the given runs (exhausted runs are
+// ignored), loading each live run's frontier block.
+func newFrontierTree(runs []*run, load func(*run)) *frontierTree {
+	live := runs[:0:0]
+	for _, r := range runs {
+		if r.remaining() > 0 {
+			load(r)
+			live = append(live, r)
+		}
+	}
+	size := 1
+	for size < len(live) {
+		size *= 2
+	}
+	t := &frontierTree{runs: live, win: make([]int, 2*size), size: size, load: load, dirty: -1}
+	for p := range t.win {
+		t.win[p] = -1
+	}
+	for i := range live {
+		t.win[size+i] = i
+	}
+	for p := size - 1; p >= 1; p-- {
+		t.win[p] = t.better(t.win[2*p], t.win[2*p+1])
+	}
+	return t
+}
+
+// better returns the leaf index whose run head wins (smaller head, run
+// order breaking ties); -1 loses to everything.
+func (t *frontierTree) better(a, b int) int {
+	switch {
+	case a < 0:
+		return b
+	case b < 0:
+		return a
+	case aem.Less(t.runs[b].head(), t.runs[a].head()):
+		return b
+	default:
+		return a // equal heads: lower run order wins, like the scan did
+	}
+}
+
+// min returns the run holding the globally smallest unconsumed item.
+func (t *frontierTree) min() (*run, bool) {
+	t.settle()
+	if t.size == 0 || t.win[1] < 0 {
+		return nil, false
+	}
+	return t.runs[t.win[1]], true
+}
+
+// pop consumes the current minimum (the run min returned): it advances the
+// winning run's cursor but defers the frontier load and path replay to the
+// next min call — a refill that stops right after a pop must not load the
+// block it will never look at, exactly as the linear scan it replaced
+// loaded frontiers only when the next selection touched them.
+func (t *frontierTree) pop() {
+	t.settle()
+	i := t.win[1]
+	t.runs[i].consumed++
+	t.dirty = i
+}
+
+// settle reloads a popped run's frontier and replays its root path.
+func (t *frontierTree) settle() {
+	if t.dirty < 0 {
+		return
+	}
+	i := t.dirty
+	t.dirty = -1
+	r := t.runs[i]
+	if r.remaining() > 0 {
+		t.load(r)
+	} else {
+		t.win[t.size+i] = -1
+	}
+	for p := (t.size + i) / 2; p >= 1; p /= 2 {
+		t.win[p] = t.better(t.win[2*p], t.win[2*p+1])
+	}
+}

@@ -32,10 +32,14 @@ type Round struct {
 // Decompose splits a trace greedily into rounds of cost at most ω·m (the
 // round budget of §4). Every round except possibly the last has cost
 // greater than ω·(m−1), matching the paper's requirement that all but the
-// last round nearly exhaust the budget.
+// last round nearly exhaust the budget. An empty trace decomposes into no
+// rounds at all — a program that did no I/O ran in zero rounds, not one.
 func Decompose(ops []aem.TraceOp, cfg aem.Config) []Round {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
+	}
+	if len(ops) == 0 {
+		return nil
 	}
 	budget := int64(cfg.Omega) * int64(cfg.BlocksInMemory())
 	var rounds []Round
@@ -59,7 +63,7 @@ func Decompose(ops []aem.TraceOp, cfg aem.Config) []Round {
 			cur.Stats.Writes++
 		}
 	}
-	if cost > 0 || len(ops) == 0 {
+	if cost > 0 {
 		cur.End = len(ops)
 		rounds = append(rounds, cur)
 	}

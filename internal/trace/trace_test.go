@@ -50,9 +50,14 @@ func TestDecomposeBudgets(t *testing.T) {
 }
 
 func TestDecomposeEmptyTrace(t *testing.T) {
+	// A program that did no I/O ran in zero rounds: a phantom Round{0,0}
+	// would make callers report Rounds: 1 for an empty trace.
 	rounds := Decompose(nil, aem.Config{M: 16, B: 4, Omega: 2})
-	if len(rounds) != 1 || rounds[0].Start != 0 || rounds[0].End != 0 {
-		t.Errorf("empty trace rounds = %+v", rounds)
+	if rounds != nil {
+		t.Errorf("empty trace rounds = %+v, want nil", rounds)
+	}
+	if err := CheckDecomposition(rounds, nil, aem.Config{M: 16, B: 4, Omega: 2}); err != nil {
+		t.Errorf("nil decomposition of empty trace rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/aem"
+)
+
+// PQOpKind distinguishes the two priority-queue operations of a stream.
+type PQOpKind uint8
+
+const (
+	// PQPush inserts the op's Item.
+	PQPush PQOpKind = 1
+	// PQDeleteMin removes the queue's smallest item. Generated streams
+	// never delete from an empty queue.
+	PQDeleteMin PQOpKind = 2
+)
+
+// PQOp is one priority-queue operation in a stream.
+type PQOp struct {
+	Kind PQOpKind
+	Item aem.Item // PQPush payload; Aux carries a unique sequence number
+}
+
+// PQScenario selects the shape of a generated push/deletemin stream. The
+// scenarios span the regimes that separate a write-buffered queue from an
+// ω-oblivious one: mixed traffic whose pushes mostly land above the
+// deletion frontier (the buffer absorbs them), sawtooth build/drain cycles
+// that force every buffered item through a fold, and the monotone
+// discrete-event pattern where pushes always schedule into the future.
+type PQScenario int
+
+const (
+	// MixedPQ interleaves uniform-key pushes with deletemins in bursts,
+	// deleting ~a third of the pushed volume over the stream.
+	MixedPQ PQScenario = iota
+	// SawtoothPQ alternates push bursts with deep drains (down to ~10% of
+	// the queue), so buffered pushes are repeatedly forced into runs.
+	SawtoothPQ
+	// MonotonePQ is a discrete-event simulation: every push schedules at
+	// a key strictly above the last deleted one, the access pattern of
+	// Dijkstra-style algorithms and event loops.
+	MonotonePQ
+)
+
+// String names the scenario for experiment tables and CLI flags.
+func (s PQScenario) String() string {
+	switch s {
+	case MixedPQ:
+		return "mixed"
+	case SawtoothPQ:
+		return "sawtooth"
+	case MonotonePQ:
+		return "monotone"
+	}
+	return fmt.Sprintf("PQScenario(%d)", int(s))
+}
+
+// PQScenarios lists every scenario, for table-driven tests and sweeps.
+func PQScenarios() []PQScenario {
+	return []PQScenario{MixedPQ, SawtoothPQ, MonotonePQ}
+}
+
+// PQOps generates an n-operation push/deletemin stream. Streams are
+// deterministic in (scenario, seed of r, n), never delete from an empty
+// queue, and give every pushed item a unique Aux sequence number, so
+// queue outputs are totally ordered and comparable item-for-item against
+// a reference heap.
+func PQOps(r *RNG, sc PQScenario, n int) []PQOp {
+	ops := make([]PQOp, 0, n)
+	size := 0
+	var seq int64
+	push := func(key int64) {
+		ops = append(ops, PQOp{Kind: PQPush, Item: aem.Item{Key: key, Aux: seq}})
+		seq++
+		size++
+	}
+	del := func() {
+		ops = append(ops, PQOp{Kind: PQDeleteMin})
+		size--
+	}
+
+	switch sc {
+	case MixedPQ:
+		const keyspace = 1 << 20
+		for len(ops) < n {
+			for burst := 8 + r.Intn(56); burst > 0 && len(ops) < n; burst-- {
+				push(int64(r.Intn(keyspace)))
+			}
+			for burst := 4 + r.Intn(24); burst > 0 && len(ops) < n && size > 0; burst-- {
+				del()
+			}
+		}
+
+	case SawtoothPQ:
+		const keyspace = 1 << 20
+		for len(ops) < n {
+			for burst := 64 + r.Intn(128); burst > 0 && len(ops) < n; burst-- {
+				push(int64(r.Intn(keyspace)))
+			}
+			for target := size / 10; size > target && len(ops) < n; {
+				del()
+			}
+		}
+
+	case MonotonePQ:
+		// The generator tracks the queue contents (free internal
+		// computation) so the clock is the key of each consumed event:
+		// every push schedules strictly after it, so pushed keys never
+		// undercut the current minimum — the defining property of
+		// event-loop and Dijkstra-style traffic.
+		clock := int64(0)
+		var pending aem.ItemHeap
+		for len(ops) < n {
+			if size == 0 || r.Intn(100) >= 40 {
+				k := clock + 1 + int64(r.Intn(1000))
+				pending.Push(aem.Item{Key: k})
+				push(k)
+			} else {
+				clock = pending.Pop().Key
+				del()
+			}
+		}
+
+	default:
+		panic(fmt.Sprintf("workload: unknown scenario %v", sc))
+	}
+	return ops
+}
+
+// PQOpMix counts a stream's operations by kind; experiment tables report
+// it so the workload composition is visible next to the measured costs.
+func PQOpMix(ops []PQOp) (pushes, deletes int) {
+	for _, op := range ops {
+		if op.Kind == PQPush {
+			pushes++
+		} else {
+			deletes++
+		}
+	}
+	return
+}

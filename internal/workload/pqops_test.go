@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/aem"
+)
+
+func TestPQOpsContract(t *testing.T) {
+	for _, sc := range PQScenarios() {
+		for _, n := range []int{0, 1, 100, 5000} {
+			ops := PQOps(NewRNG(9), sc, n)
+			if len(ops) != n {
+				t.Fatalf("%v n=%d: generated %d ops", sc, n, len(ops))
+			}
+			size := 0
+			seen := map[int64]bool{}
+			for i, op := range ops {
+				switch op.Kind {
+				case PQPush:
+					if seen[op.Item.Aux] {
+						t.Fatalf("%v op %d: duplicate Aux %d", sc, i, op.Item.Aux)
+					}
+					seen[op.Item.Aux] = true
+					size++
+				case PQDeleteMin:
+					if size == 0 {
+						t.Fatalf("%v op %d: DeleteMin on empty queue", sc, i)
+					}
+					size--
+				default:
+					t.Fatalf("%v op %d: bad kind %d", sc, i, op.Kind)
+				}
+			}
+			p, d := PQOpMix(ops)
+			if p+d != n || d > p {
+				t.Fatalf("%v: mix %d/%d inconsistent with n=%d", sc, p, d, n)
+			}
+		}
+	}
+}
+
+func TestPQOpsDeterministic(t *testing.T) {
+	for _, sc := range PQScenarios() {
+		a := PQOps(NewRNG(4), sc, 2000)
+		b := PQOps(NewRNG(4), sc, 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: op %d differs between equal seeds", sc, i)
+			}
+		}
+	}
+}
+
+// TestMonotonePQNeverSchedulesInThePast: the defining property of the
+// event-simulation scenario — every push's key is strictly above the key
+// of every already-consumed event.
+func TestMonotonePQNeverSchedulesInThePast(t *testing.T) {
+	ops := PQOps(NewRNG(6), MonotonePQ, 8000)
+	var pending aem.ItemHeap
+	clock := int64(-1)
+	for i, op := range ops {
+		if op.Kind == PQPush {
+			if op.Item.Key <= clock {
+				t.Fatalf("op %d: push at %d, clock already %d", i, op.Item.Key, clock)
+			}
+			pending.Push(op.Item)
+		} else {
+			clock = pending.Pop().Key
+		}
+	}
+}
+
+func TestPQScenarioStrings(t *testing.T) {
+	want := map[PQScenario]string{MixedPQ: "mixed", SawtoothPQ: "sawtooth", MonotonePQ: "monotone"}
+	for sc, s := range want {
+		if sc.String() != s {
+			t.Errorf("%d.String() = %q, want %q", sc, sc.String(), s)
+		}
+	}
+	if PQScenario(99).String() == "" {
+		t.Error("unknown scenario prints empty")
+	}
+}
