@@ -1,0 +1,23 @@
+// Command aem is the repository's multitool: every workload driver and
+// the experiment harness behind one binary.
+//
+//	aem bench    run the experiment registry (tables, CSV, JSON records)
+//	aem dict     dictionary op streams: buffer tree vs B-tree vs bounds
+//	aem sort     sorting workloads vs the paper's bounds
+//	aem spmxv    sparse matrix × dense vector, both Section 5 algorithms
+//	aem trace    record and analyze an algorithm's I/O trace
+//
+// The historical standalone binaries (aembench, aemdict, aemsort,
+// aemspmxv, aemtrace) remain as deprecated wrappers over the same
+// subcommand implementations.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:]))
+}

@@ -1,81 +1,14 @@
-// Command aembench regenerates the repository's experiments: one table per
-// theorem/lemma of "Lower Bounds in the Asymmetric External Memory Model"
-// (Jacob & Sitchinava, SPAA 2017). See README.md ("Experiments") for the
-// experiment index and how to read the tables.
-//
-// Independent experiments run on a bounded worker pool (-par); tables are
-// always emitted in index order, so the output is byte-identical at every
-// parallelism level.
-//
-// Usage:
-//
-//	aembench -list            list experiment ids
-//	aembench                  run every experiment, tables to stdout
-//	aembench -exp EXP-P1      run one experiment
-//	aembench -par 8           run experiments on 8 workers
-//	aembench -csv out/        additionally write one CSV per experiment
+// Command aembench is the deprecated standalone form of `aem bench`:
+// same flags, same output, plus a deprecation notice on stderr. See
+// cmd/aem and internal/cli for the living implementation.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
-	"strings"
 
-	"repro/internal/harness"
+	"repro/internal/cli"
 )
 
 func main() {
-	var (
-		expID  = flag.String("exp", "all", "experiment id to run, or 'all'")
-		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files into")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		par    = flag.Int("par", runtime.NumCPU(), "number of experiments to run concurrently")
-	)
-	flag.Parse()
-
-	if *list {
-		for _, e := range harness.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
-		}
-		return
-	}
-
-	var exps []harness.Experiment
-	if *expID == "all" {
-		exps = harness.All()
-	} else {
-		e, ok := harness.ByID(*expID)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "aembench: unknown experiment %q (try -list)\n", *expID)
-			os.Exit(2)
-		}
-		exps = []harness.Experiment{e}
-	}
-
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "aembench: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
-	harness.Run(exps, *par, func(tbl *harness.Table) {
-		tbl.Render(os.Stdout)
-		if *csvDir != "" {
-			name := strings.ToLower(strings.ReplaceAll(tbl.ID, "EXP-", "exp_")) + ".csv"
-			f, err := os.Create(filepath.Join(*csvDir, name))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "aembench: %v\n", err)
-				os.Exit(1)
-			}
-			tbl.CSV(f)
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "aembench: %v\n", err)
-				os.Exit(1)
-			}
-		}
-	})
+	os.Exit(cli.RunDeprecated("aembench", "bench", os.Args[1:]))
 }

@@ -1,116 +1,14 @@
-// Command aemdict runs a generated dictionary operation stream on a
-// simulated (M,B,ω)-AEM machine and reports the measured I/O cost of the
-// ω-adaptive buffer tree next to the unbatched B-tree baseline and the
-// bounds predictions.
-//
-// Usage:
-//
-//	aemdict -ops 24000 -keyspace 8192 -m 256 -b 16 -omega 16 -scenario zipf
-//	aemdict -impl buffertree -engine arena -phases
-//
-// Scenarios: uniform | zipf | sortedburst | deleteheavy.
-// Implementations: both | buffertree | btree.
-// Engines: slice | arena (the data-free counting engine cannot run a
-// value-dependent dictionary).
+// Command aemdict is the deprecated standalone form of `aem dict`:
+// same flags, same output, plus a deprecation notice on stderr. See
+// cmd/aem and internal/cli for the living implementation.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/aem"
-	"repro/internal/bounds"
-	"repro/internal/dict"
-	"repro/internal/workload"
+	"repro/internal/cli"
 )
 
 func main() {
-	var (
-		nOps     = flag.Int("ops", 24000, "number of operations in the stream")
-		keyspace = flag.Int64("keyspace", 8192, "distinct-key domain size")
-		m        = flag.Int("m", 256, "internal memory M in items")
-		b        = flag.Int("b", 16, "block size B in items")
-		omega    = flag.Int("omega", 16, "write/read cost ratio ω")
-		scenario = flag.String("scenario", "uniform", "workload: uniform | zipf | sortedburst | deleteheavy")
-		impl     = flag.String("impl", "both", "dictionary: both | buffertree | btree")
-		engine   = flag.String("engine", "slice", "storage engine: slice | arena")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		phases   = flag.Bool("phases", false, "print per-phase I/O for the buffer tree")
-	)
-	flag.Parse()
-
-	cfg := aem.Config{M: *m, B: *b, Omega: *omega}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "aemdict: %v\n", err)
-		os.Exit(2)
-	}
-	var sc workload.Scenario
-	found := false
-	for _, s := range workload.Scenarios() {
-		if s.String() == strings.ToLower(*scenario) {
-			sc, found = s, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "aemdict: unknown scenario %q\n", *scenario)
-		os.Exit(2)
-	}
-	newEngine := func() aem.Storage {
-		switch *engine {
-		case "slice":
-			return aem.NewSliceStorage()
-		case "arena":
-			return aem.NewArenaStorage(cfg.B)
-		}
-		fmt.Fprintf(os.Stderr, "aemdict: unknown engine %q (counting cannot run a value-dependent dictionary)\n", *engine)
-		os.Exit(2)
-		return nil
-	}
-
-	ops := workload.DictOps(workload.NewRNG(*seed), sc, *nOps, *keyspace)
-	ins, del, look, rng := workload.OpMix(ops)
-	p := bounds.DictParamsFor(cfg, ops, int(*keyspace))
-
-	fmt.Printf("machine      (M=%d, B=%d, ω=%d)-AEM on the %s engine\n", cfg.M, cfg.B, cfg.Omega, *engine)
-	fmt.Printf("workload     %d ops, %s over %d keys (seed %d): %d insert / %d delete / %d lookup / %d range\n",
-		*nOps, sc, *keyspace, *seed, ins, del, look, rng)
-
-	type row struct {
-		name string
-		mk   func(*aem.Machine) dict.Dict
-		pred bounds.PredictedIO
-	}
-	var rows []row
-	if *impl == "both" || *impl == "buffertree" {
-		rows = append(rows, row{"buffertree", func(ma *aem.Machine) dict.Dict { return dict.NewBufferTree(ma) },
-			bounds.DictBufferTreePredicted(p)})
-	}
-	if *impl == "both" || *impl == "btree" {
-		rows = append(rows, row{"btree", func(ma *aem.Machine) dict.Dict { return dict.NewBTree(ma) },
-			bounds.DictBTreePredicted(p)})
-	}
-	if len(rows) == 0 {
-		fmt.Fprintf(os.Stderr, "aemdict: unknown implementation %q\n", *impl)
-		os.Exit(2)
-	}
-
-	for _, r := range rows {
-		ma := aem.NewWithStorage(cfg, newEngine())
-		d := r.mk(ma)
-		results := d.Apply(ops)
-		st := ma.Stats()
-		fmt.Printf("\n%s\n", r.name)
-		fmt.Printf("  reads        %10d   (predicted %.0f, meas/pred %.2f)\n", st.Reads, r.pred.Reads, float64(st.Reads)/r.pred.Reads)
-		fmt.Printf("  writes       %10d   (predicted %.0f, meas/pred %.2f)\n", st.Writes, r.pred.Writes, float64(st.Writes)/r.pred.Writes)
-		fmt.Printf("  cost Q       %10d   (= reads + ω·writes; %.2f per op)\n", ma.Cost(), float64(ma.Cost())/float64(*nOps))
-		fmt.Printf("  answered     %10d queries\n", len(results))
-		if *phases && r.name == "buffertree" {
-			fmt.Printf("  per-phase I/O:\n")
-			for _, line := range strings.Split(strings.TrimRight(ma.Phases().String(), "\n"), "\n") {
-				fmt.Printf("    %s\n", line)
-			}
-		}
-	}
+	os.Exit(cli.RunDeprecated("aemdict", "dict", os.Args[1:]))
 }

@@ -1,95 +1,14 @@
-// Command aemsort sorts a generated workload on a simulated (M,B,ω)-AEM
-// machine and reports the measured I/O cost next to the paper's bounds.
-//
-// Usage:
-//
-//	aemsort -n 65536 -m 1024 -b 32 -omega 16 -alg aem -dist random
-//
-// Algorithms: aem (the Section 3 mergesort), em (symmetric-EM mergesort
-// baseline), small (the [7, Lemma 4.2] base case; requires N ≤ ωM).
+// Command aemsort is the deprecated standalone form of `aem sort`:
+// same flags, same output, plus a deprecation notice on stderr. See
+// cmd/aem and internal/cli for the living implementation.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/aem"
-	"repro/internal/bounds"
-	"repro/internal/sorting"
-	"repro/internal/workload"
+	"repro/internal/cli"
 )
 
 func main() {
-	var (
-		n     = flag.Int("n", 1<<16, "number of items to sort")
-		m     = flag.Int("m", 1024, "internal memory M in items")
-		b     = flag.Int("b", 32, "block size B in items")
-		omega = flag.Int("omega", 16, "write/read cost ratio ω")
-		alg   = flag.String("alg", "aem", "algorithm: aem | em | small")
-		dist  = flag.String("dist", "random", "key distribution: random | sorted | reversed | fewdistinct | nearlysorted")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-	)
-	flag.Parse()
-
-	cfg := aem.Config{M: *m, B: *b, Omega: *omega}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "aemsort: %v\n", err)
-		os.Exit(2)
-	}
-	var kd workload.KeyDist
-	found := false
-	for _, d := range workload.Dists() {
-		if d.String() == strings.ToLower(*dist) {
-			kd, found = d, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "aemsort: unknown distribution %q\n", *dist)
-		os.Exit(2)
-	}
-
-	ma := aem.New(cfg)
-	in := workload.Keys(workload.NewRNG(*seed), kd, *n)
-	v := aem.Load(ma, in)
-
-	var out *aem.Vector
-	switch *alg {
-	case "aem":
-		out = sorting.MergeSort(ma, v)
-	case "em":
-		out = sorting.EMMergeSort(ma, v)
-	case "small":
-		if *n > *omega**m {
-			fmt.Fprintf(os.Stderr, "aemsort: small sort needs N ≤ ωM = %d\n", *omega**m)
-			os.Exit(2)
-		}
-		out = sorting.SmallSort(ma, v)
-	default:
-		fmt.Fprintf(os.Stderr, "aemsort: unknown algorithm %q\n", *alg)
-		os.Exit(2)
-	}
-
-	if !sorting.IsSorted(out.Materialize()) {
-		fmt.Fprintln(os.Stderr, "aemsort: output NOT sorted — simulator bug")
-		os.Exit(1)
-	}
-
-	st := ma.Stats()
-	p := bounds.Params{N: *n, Cfg: cfg}
-	pred := bounds.MergeSortPredicted(p)
-	lb := bounds.SortingLowerBoundClosed(p)
-
-	fmt.Printf("machine      (M=%d, B=%d, ω=%d)-AEM   m=%d  merge fanout ωm=%d\n",
-		cfg.M, cfg.B, cfg.Omega, cfg.BlocksInMemory(), cfg.MergeFanout())
-	fmt.Printf("workload     N=%d %s (seed %d)\n", *n, kd, *seed)
-	fmt.Printf("algorithm    %s\n", *alg)
-	fmt.Printf("reads        %d\n", st.Reads)
-	fmt.Printf("writes       %d\n", st.Writes)
-	fmt.Printf("cost Q       %d   (= reads + ω·writes)\n", ma.Cost())
-	fmt.Printf("verified     output sorted, %d items\n", out.Len())
-	fmt.Printf("predicted    %.0f reads, %.0f writes (§3 mergesort formula)\n", pred.Reads, pred.Writes)
-	fmt.Printf("lower bound  %.0f   (Theorem 4.5: min{N, ω·n·log_ωm n})\n", lb)
-	fmt.Printf("Q / LB       %.2f\n", float64(ma.Cost())/lb)
+	os.Exit(cli.RunDeprecated("aemsort", "sort", os.Args[1:]))
 }

@@ -1,93 +1,14 @@
-// Command aemspmxv multiplies a random sparse matrix by a dense vector on
-// a simulated (M,B,ω)-AEM machine with both Section 5 algorithms and
-// reports measured costs next to the Theorem 5.1 bound.
-//
-// Usage:
-//
-//	aemspmxv -n 2048 -delta 4 -m 1024 -b 32 -omega 16 [-banded]
+// Command aemspmxv is the deprecated standalone form of `aem spmxv`:
+// same flags, same output, plus a deprecation notice on stderr. See
+// cmd/aem and internal/cli for the living implementation.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"repro/internal/aem"
-	"repro/internal/bounds"
-	"repro/internal/spmxv"
-	"repro/internal/workload"
+	"repro/internal/cli"
 )
 
 func main() {
-	var (
-		n      = flag.Int("n", 2048, "matrix dimension N (N×N matrix, N-vector)")
-		delta  = flag.Int("delta", 4, "non-zeros per column δ")
-		m      = flag.Int("m", 1024, "internal memory M in items")
-		b      = flag.Int("b", 32, "block size B in items")
-		omega  = flag.Int("omega", 16, "write/read cost ratio ω")
-		banded = flag.Bool("banded", false, "use a banded conformation instead of random")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-	)
-	flag.Parse()
-
-	cfg := aem.Config{M: *m, B: *b, Omega: *omega}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "aemspmxv: %v\n", err)
-		os.Exit(2)
-	}
-	if *delta < 1 || *delta > *n {
-		fmt.Fprintf(os.Stderr, "aemspmxv: need 1 ≤ δ ≤ N\n")
-		os.Exit(2)
-	}
-
-	rng := workload.NewRNG(*seed)
-	var conf *workload.Conformation
-	if *banded {
-		conf = workload.BandedConformation(*n, *delta)
-	} else {
-		conf = workload.NewConformation(rng, *n, *delta)
-	}
-	values := make([]int64, conf.H())
-	for i := range values {
-		values[i] = int64(rng.Intn(100) - 50)
-	}
-	x := make([]int64, *n)
-	for i := range x {
-		x[i] = int64(rng.Intn(100) - 50)
-	}
-
-	run := func(name string, f func(*aem.Machine, *spmxv.Matrix, *aem.Vector) *aem.Vector) (int64, aem.Stats) {
-		ma := aem.New(cfg)
-		mat := spmxv.NewMatrix(ma, conf, values)
-		y := f(ma, mat, spmxv.LoadDense(ma, x))
-		if err := spmxv.VerifyProduct(conf, values, x, y); err != nil {
-			fmt.Fprintf(os.Stderr, "aemspmxv: %s produced a wrong product: %v\n", name, err)
-			os.Exit(1)
-		}
-		return ma.Cost(), ma.Stats()
-	}
-
-	naiveCost, naiveStats := run("naive", spmxv.Naive)
-	sortCost, sortStats := run("sort", spmxv.SortBased)
-
-	p := bounds.SpMxVParams{Params: bounds.Params{N: *n, Cfg: cfg}, Delta: *delta}
-	lb := bounds.SpMxVLowerBoundClosed(p)
-
-	kind := "random"
-	if *banded {
-		kind = "banded"
-	}
-	fmt.Printf("machine      (M=%d, B=%d, ω=%d)-AEM\n", cfg.M, cfg.B, cfg.Omega)
-	fmt.Printf("matrix       %d×%d, δ=%d per column (%s), H=%d non-zeros, column-major\n",
-		*n, *n, *delta, kind, conf.H())
-	fmt.Printf("naive        cost %-10d (%s)   — O(H + ωn)\n", naiveCost, naiveStats)
-	fmt.Printf("sort-based   cost %-10d (%s)   — O(ωh·log_ωm N/max{δ,B} + ωn)\n", sortCost, sortStats)
-	best, strat := naiveCost, "naive"
-	if sortCost < best {
-		best, strat = sortCost, "sort-based"
-	}
-	fmt.Printf("best         %s\n", strat)
-	fmt.Printf("lower bound  %.0f   (Theorem 5.1)\n", lb)
-	fmt.Printf("best / LB    %.2f\n", float64(best)/lb)
-	fmt.Printf("verified     both algorithms match the dense reference product\n")
+	os.Exit(cli.RunDeprecated("aemspmxv", "spmxv", os.Args[1:]))
 }

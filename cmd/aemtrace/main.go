@@ -1,128 +1,14 @@
-// Command aemtrace records the I/O trace of an algorithm execution on a
-// simulated (M,B,ω)-AEM machine, decomposes it into the ωm-rounds of the
-// paper's Section 4, and evaluates the Lemma 4.1 round-based conversion on
-// it — the lower-bound framework applied to a real run.
-//
-// Usage:
-//
-//	aemtrace -alg aem -n 16384 -m 512 -b 16 -omega 8
-//	aemtrace -alg aem -n 16384 -stream ops.trace
-//
-// Algorithms: aem | em | sample | heap (sorting), spmxv-naive | spmxv-sort.
-//
-// With -stream FILE the trace is written to FILE as it is recorded — one
-// "R addr" / "W addr" line per I/O through a bounded buffer, so traces of
-// any length use O(1) memory — and the in-memory round analysis is skipped.
+// Command aemtrace is the deprecated standalone form of `aem trace`:
+// same flags, same output, plus a deprecation notice on stderr. See
+// cmd/aem and internal/cli for the living implementation.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"repro/internal/aem"
-	"repro/internal/pq"
-	"repro/internal/sorting"
-	"repro/internal/spmxv"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/cli"
 )
 
 func main() {
-	var (
-		n      = flag.Int("n", 1<<14, "input size")
-		m      = flag.Int("m", 512, "internal memory M in items")
-		b      = flag.Int("b", 16, "block size B in items")
-		omega  = flag.Int("omega", 8, "write/read cost ratio ω")
-		alg    = flag.String("alg", "aem", "algorithm: aem | em | sample | heap | spmxv-naive | spmxv-sort")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		stream = flag.String("stream", "", "stream the trace to this file instead of analyzing it in memory")
-	)
-	flag.Parse()
-
-	cfg := aem.Config{M: *m, B: *b, Omega: *omega}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "aemtrace: %v\n", err)
-		os.Exit(2)
-	}
-
-	ma := aem.New(cfg)
-	var sink *aem.StreamSink
-	var streamFile *os.File
-	if *stream != "" {
-		f, err := os.Create(*stream)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "aemtrace: %v\n", err)
-			os.Exit(1)
-		}
-		streamFile = f
-		sink = aem.NewStreamSink(f)
-		ma.SetTraceSink(sink)
-	} else {
-		ma.StartTrace()
-	}
-	switch *alg {
-	case "aem":
-		in := workload.Keys(workload.NewRNG(*seed), workload.Random, *n)
-		sorting.MergeSort(ma, aem.Load(ma, in))
-	case "em":
-		in := workload.Keys(workload.NewRNG(*seed), workload.Random, *n)
-		sorting.EMMergeSort(ma, aem.Load(ma, in))
-	case "sample":
-		in := workload.Keys(workload.NewRNG(*seed), workload.Random, *n)
-		sorting.EMSampleSort(ma, aem.Load(ma, in), *seed)
-	case "heap":
-		in := workload.Keys(workload.NewRNG(*seed), workload.Random, *n)
-		pq.HeapSort(ma, aem.Load(ma, in))
-	case "spmxv-naive", "spmxv-sort":
-		rng := workload.NewRNG(*seed)
-		conf := workload.NewConformation(rng, *n, 4)
-		values := make([]int64, conf.H())
-		x := make([]int64, *n)
-		mat := spmxv.NewMatrix(ma, conf, values)
-		if *alg == "spmxv-naive" {
-			spmxv.Naive(ma, mat, spmxv.LoadDense(ma, x))
-		} else {
-			spmxv.SortBased(ma, mat, spmxv.LoadDense(ma, x))
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "aemtrace: unknown algorithm %q\n", *alg)
-		os.Exit(2)
-	}
-	if sink != nil {
-		ma.SetTraceSink(nil)
-		// Close errors matter here: a deferred-write failure (quota, NFS)
-		// surfaces at Close, and reporting success over a truncated trace
-		// would be worse than failing.
-		err := sink.Flush()
-		if cerr := streamFile.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "aemtrace: writing %s: %v\n", *stream, err)
-			os.Exit(1)
-		}
-		fmt.Printf("machine        (M=%d, B=%d, ω=%d)-AEM\n", cfg.M, cfg.B, cfg.Omega)
-		fmt.Printf("algorithm      %s on N=%d\n", *alg, *n)
-		fmt.Printf("trace          %d ops (%s) streamed to %s\n", sink.Len(), ma.Stats(), *stream)
-		fmt.Printf("cost Q         %d\n", ma.Cost())
-		return
-	}
-	ops := ma.StopTrace()
-
-	rounds := trace.Decompose(ops, cfg)
-	if err := trace.CheckDecomposition(rounds, ops, cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "aemtrace: invalid decomposition: %v\n", err)
-		os.Exit(1)
-	}
-	conv := trace.Convert(ops, cfg)
-
-	fmt.Printf("machine        (M=%d, B=%d, ω=%d)-AEM, round budget ωm = %d\n",
-		cfg.M, cfg.B, cfg.Omega, cfg.Omega*cfg.BlocksInMemory())
-	fmt.Printf("algorithm      %s on N=%d\n", *alg, *n)
-	fmt.Printf("trace          %d ops (%s)\n", len(ops), ma.Stats())
-	fmt.Printf("cost Q         %d\n", ma.Cost())
-	fmt.Printf("rounds         %d (§4 decomposition, validated)\n", len(rounds))
-	fmt.Printf("Lemma 4.1      converted cost %d, factor %.2f, %d reads served from M''\n",
-		conv.Converted, conv.Factor(), conv.SavedReads)
+	os.Exit(cli.RunDeprecated("aemtrace", "trace", os.Args[1:]))
 }

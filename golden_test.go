@@ -12,38 +12,49 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
 
-// renderAll renders every experiment table exactly as cmd/aembench does.
-func renderAll(par int) []byte {
-	var buf bytes.Buffer
-	harness.Run(harness.All(), par, func(t *harness.Table) { t.Render(&buf) })
-	return buf.Bytes()
+// renderAll renders every experiment table exactly as `aem bench` does,
+// returning both the aligned-text and the JSON Lines (-json) forms.
+func renderAll(t *testing.T, par int) (text, jsonOut []byte) {
+	var buf, jbuf bytes.Buffer
+	harness.Run(harness.All(), par, func(tbl *harness.Table) {
+		tbl.Render(&buf)
+		if err := tbl.JSON(&jbuf); err != nil {
+			t.Fatalf("JSON render: %v", err)
+		}
+	})
+	return buf.Bytes(), jbuf.Bytes()
 }
 
-// TestAembenchGolden pins the full aembench table output byte-for-byte:
-// every experiment is deterministic from its seeds, so any diff is a real
-// behavior change — in an algorithm, a cost model, a bounds formula or
-// the table renderer — and must be reviewed (and re-recorded with
+// TestAembenchGolden pins the full `aem bench` output byte-for-byte, in
+// both its rendered-table and JSON Lines forms: every experiment is
+// deterministic from its seeds, so any diff is a real behavior change —
+// in an algorithm, a cost model, a bounds formula, a spec grid or the
+// renderers — and must be reviewed (and re-recorded with
 // `go test -run TestAembenchGolden -update`).
 //
 // The same rendering is produced at -par 1 and -par 8 and compared, so
-// ordered-emission regressions in the parallel harness fail loudly here
-// rather than flaking downstream.
+// ordered-emission regressions in the point-granular harness fail loudly
+// here rather than flaking downstream.
 func TestAembenchGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("renders every experiment twice")
 	}
-	seq := renderAll(1)
-	par := renderAll(8)
-	if !bytes.Equal(seq, par) {
-		t.Fatal("aembench output differs between -par 1 and -par 8: ordered emission broken")
+	seq, seqJSON := renderAll(t, 1)
+	par, parJSON := renderAll(t, 8)
+	if !bytes.Equal(seq, par) || !bytes.Equal(seqJSON, parJSON) {
+		t.Fatal("aem bench output differs between -par 1 and -par 8: ordered emission broken")
 	}
 
 	golden := filepath.Join("testdata", "aembench.golden")
+	goldenJSON := filepath.Join("testdata", "aembench_json.golden")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(golden, seq, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenJSON, seqJSON, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		return
@@ -53,8 +64,16 @@ func TestAembenchGolden(t *testing.T) {
 		t.Fatalf("missing golden file (regenerate with -update): %v", err)
 	}
 	if !bytes.Equal(seq, want) {
-		t.Errorf("aembench output diverged from %s — if intentional, regenerate with `go test -run TestAembenchGolden -update`\n%s",
+		t.Errorf("aem bench output diverged from %s — if intentional, regenerate with `go test -run TestAembenchGolden -update`\n%s",
 			golden, diffHint(want, seq))
+	}
+	wantJSON, err := os.ReadFile(goldenJSON)
+	if err != nil {
+		t.Fatalf("missing JSON golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(seqJSON, wantJSON) {
+		t.Errorf("aem bench -json output diverged from %s — if intentional, regenerate with `go test -run TestAembenchGolden -update`\n%s",
+			goldenJSON, diffHint(wantJSON, seqJSON))
 	}
 }
 

@@ -1,0 +1,103 @@
+package cli
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// benchCmd regenerates the repository's experiments: one table per
+// theorem/lemma of the paper, run as declarative grid specs on a shared
+// point-granular worker pool (-par). Tables are always emitted in index
+// order, so the output is byte-identical at every parallelism level.
+//
+//	aem bench -list                 list experiment ids
+//	aem bench                       run every experiment, tables to stdout
+//	aem bench -exp EXP-D1,EXP-Q1    run a comma-separated selection
+//	aem bench -par 8                run grid points on 8 workers
+//	aem bench -csv out/             additionally write one CSV per experiment
+//	aem bench -json                 JSON Lines to stdout, one record per row
+func benchCmd(prog string, args []string) int {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	var (
+		expIDs  = fs.String("exp", "all", "comma-separated experiment ids to run, or 'all'")
+		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		jsonOut = fs.Bool("json", false, "emit JSON Lines (one record per table row, measured and predicted columns included) instead of rendered tables")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		par     = fs.Int("par", runtime.NumCPU(), "number of grid points to run concurrently")
+	)
+	fs.Parse(args)
+
+	if *list {
+		for _, s := range harness.All() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Index)
+		}
+		return 0
+	}
+
+	specs, err := harness.Select(*expIDs)
+	if err != nil {
+		fail(prog, "%v", err)
+		return 2
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+	}
+
+	var firstErr error
+	harness.Run(specs, *par, func(tbl *harness.Table) {
+		if *jsonOut {
+			if err := tbl.JSON(os.Stdout); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		if *csvDir != "" && firstErr == nil {
+			if err := writeCSVAtomic(*csvDir, tbl); err != nil {
+				firstErr = err
+			}
+		}
+	})
+	if firstErr != nil {
+		fail(prog, "%v", firstErr)
+		return 1
+	}
+	return 0
+}
+
+// writeCSVAtomic writes the table's CSV into dir through a temp file
+// renamed into place on success, so a failed or interrupted run never
+// leaves a truncated CSV behind.
+func writeCSVAtomic(dir string, tbl *harness.Table) error {
+	name := strings.ToLower(strings.ReplaceAll(tbl.ID, "EXP-", "exp_")) + ".csv"
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	w := bufio.NewWriter(f)
+	tbl.CSV(w)
+	err = w.Flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestWriteCSVAtomic: the CSV lands complete under its final name with no
+// temp residue — the partial-file hazard fix for `aem bench -csv`.
+func TestWriteCSVAtomic(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &harness.Table{ID: "EXP-T1", Columns: []string{"a", "b"}}
+	tbl.AddRow(1, 2)
+	if err := writeCSVAtomic(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "exp_t1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a,b\n1,2\n"; string(got) != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want only the final CSV", len(entries))
+	}
+
+	// Failure path: an unwritable directory must error without leaving a
+	// truncated final file behind.
+	bad := filepath.Join(dir, "missing", "deeper")
+	if err := writeCSVAtomic(bad, tbl); err == nil {
+		t.Error("writeCSVAtomic into a missing directory succeeded")
+	}
+}
+
+// TestBenchCmdUnknownExperiment: a bad -exp selection diagnoses every
+// unknown id and exits 2 without running anything.
+func TestBenchCmdUnknownExperiment(t *testing.T) {
+	if code := benchCmd("aem bench", []string{"-exp", "EXP-D1,EXP-NOPE"}); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestDeprecatedWrappersCoverEverySubcommand: each historical binary name
+// resolves to a live subcommand.
+func TestDeprecatedWrappersCoverEverySubcommand(t *testing.T) {
+	for _, sub := range []string{"bench", "dict", "sort", "spmxv", "trace"} {
+		found := false
+		for _, c := range Commands() {
+			if c.Name == sub {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("subcommand %s missing from the registry", sub)
+		}
+	}
+	if code := Main([]string{"definitely-not-a-command"}); code != 2 {
+		t.Errorf("unknown command exit = %d, want 2", code)
+	}
+	if code := Main([]string{"help"}); code != 0 {
+		t.Errorf("help exit = %d, want 0", code)
+	}
+}

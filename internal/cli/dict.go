@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/aem"
+	"repro/internal/bounds"
+	"repro/internal/dict"
+	"repro/internal/workload"
+)
+
+// dictCmd runs a generated dictionary operation stream on a simulated
+// (M,B,ω)-AEM machine and reports the measured I/O cost of the
+// ω-adaptive buffer tree next to the unbatched B-tree baseline and the
+// bounds predictions.
+//
+//	aem dict -ops 24000 -keyspace 8192 -m 256 -b 16 -omega 16 -scenario zipf
+//	aem dict -impl buffertree -engine arena -phases
+//
+// Scenarios: uniform | zipf | sortedburst | deleteheavy.
+// Implementations: both | buffertree | btree.
+// Engines: slice | arena (the data-free counting engine cannot run a
+// value-dependent dictionary).
+func dictCmd(prog string, args []string) int {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	var (
+		nOps     = fs.Int("ops", 24000, "number of operations in the stream")
+		keyspace = fs.Int64("keyspace", 8192, "distinct-key domain size")
+		machine  = machineFlags(fs, 256, 16, 16)
+		scenario = fs.String("scenario", "uniform", "workload: uniform | zipf | sortedburst | deleteheavy")
+		impl     = fs.String("impl", "both", "dictionary: both | buffertree | btree")
+		engine   = fs.String("engine", "slice", "storage engine: slice | arena")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		phases   = fs.Bool("phases", false, "print per-phase I/O for the buffer tree")
+	)
+	fs.Parse(args)
+
+	cfg, err := machine()
+	if err != nil {
+		fail(prog, "%v", err)
+		return 2
+	}
+	sc, found := workload.ScenarioByName(*scenario)
+	if !found {
+		fail(prog, "unknown scenario %q", *scenario)
+		return 2
+	}
+	newEngine := func() aem.Storage {
+		switch *engine {
+		case "slice":
+			return aem.NewSliceStorage()
+		case "arena":
+			return aem.NewArenaStorage(cfg.B)
+		}
+		return nil
+	}
+	if newEngine() == nil {
+		fail(prog, "unknown engine %q (counting cannot run a value-dependent dictionary)", *engine)
+		return 2
+	}
+
+	ops := workload.DictOps(workload.NewRNG(*seed), sc, *nOps, *keyspace)
+	ins, del, look, rng := workload.OpMix(ops)
+	p := bounds.DictParamsFor(cfg, ops, int(*keyspace))
+
+	fmt.Printf("machine      (M=%d, B=%d, ω=%d)-AEM on the %s engine\n", cfg.M, cfg.B, cfg.Omega, *engine)
+	fmt.Printf("workload     %d ops, %s over %d keys (seed %d): %d insert / %d delete / %d lookup / %d range\n",
+		*nOps, sc, *keyspace, *seed, ins, del, look, rng)
+
+	type row struct {
+		name string
+		mk   func(*aem.Machine) dict.Dict
+		pred bounds.PredictedIO
+	}
+	var rows []row
+	if *impl == "both" || *impl == "buffertree" {
+		rows = append(rows, row{"buffertree", func(ma *aem.Machine) dict.Dict { return dict.NewBufferTree(ma) },
+			bounds.DictBufferTreePredicted(p)})
+	}
+	if *impl == "both" || *impl == "btree" {
+		rows = append(rows, row{"btree", func(ma *aem.Machine) dict.Dict { return dict.NewBTree(ma) },
+			bounds.DictBTreePredicted(p)})
+	}
+	if len(rows) == 0 {
+		fail(prog, "unknown implementation %q", *impl)
+		return 2
+	}
+
+	for _, r := range rows {
+		ma := aem.NewWithStorage(cfg, newEngine())
+		d := r.mk(ma)
+		results := d.Apply(ops)
+		st := ma.Stats()
+		fmt.Printf("\n%s\n", r.name)
+		fmt.Printf("  reads        %10d   (predicted %.0f, meas/pred %.2f)\n", st.Reads, r.pred.Reads, float64(st.Reads)/r.pred.Reads)
+		fmt.Printf("  writes       %10d   (predicted %.0f, meas/pred %.2f)\n", st.Writes, r.pred.Writes, float64(st.Writes)/r.pred.Writes)
+		fmt.Printf("  cost Q       %10d   (= reads + ω·writes; %.2f per op)\n", ma.Cost(), float64(ma.Cost())/float64(*nOps))
+		fmt.Printf("  answered     %10d queries\n", len(results))
+		if *phases && r.name == "buffertree" {
+			fmt.Printf("  per-phase I/O:\n")
+			for _, line := range strings.Split(strings.TrimRight(ma.Phases().String(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
+	return 0
+}

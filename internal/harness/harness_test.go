@@ -11,7 +11,7 @@ func TestAllExperimentsRunAndRender(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tbl := e.Run()
+			tbl := e.Table()
 			if tbl.ID != e.ID {
 				t.Errorf("table ID %q != experiment ID %q", tbl.ID, e.ID)
 			}
@@ -51,7 +51,7 @@ func TestProofPipelineExperimentsReportPreserved(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s missing", id)
 		}
-		tbl := e.Run()
+		tbl := e.Table()
 		col := -1
 		for i, c := range tbl.Columns {
 			if c == "placement" {
@@ -74,7 +74,7 @@ func TestMergeConstantsAreFlat(t *testing.T) {
 	// constants vary by at most 4× across the entire sweep (they are
 	// Theorem 3.2's O(1) factors).
 	e, _ := ByID("EXP-M1")
-	tbl := e.Run()
+	tbl := e.Table()
 	checkFlat := func(col string, maxSpread float64) {
 		idx := -1
 		for i, c := range tbl.Columns {

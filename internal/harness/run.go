@@ -2,69 +2,158 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Run executes the given experiments on a worker pool of at most par
-// concurrent goroutines and calls emit exactly once per experiment, in the
-// order of exps, as soon as each table and all of its predecessors are
-// ready. Every experiment owns its private machine and derives its inputs
-// from fixed seeds, so they are embarrassingly parallel and the emitted
-// tables are identical for every par — parallelism changes wall-clock
-// time, never output. par < 1 is treated as 1.
+// Run executes the specs' grids on one shared worker pool of at most par
+// goroutines, scheduling at grid-point granularity: every point of every
+// spec is an independent unit of work, so a single slow experiment
+// spreads across the pool instead of pinning one worker. emit is called
+// exactly once per spec, in the order of specs, as soon as each table and
+// all of its predecessors are assembled. Every point owns a private
+// machine and derives its inputs from fixed seeds, so points are
+// embarrassingly parallel and the emitted tables are byte-identical for
+// every par — parallelism changes wall-clock time, never output. par < 1
+// is treated as 1.
 //
-// If an experiment panics, Run waits for the in-flight workers and then
-// re-panics with the experiment's ID attached.
-func Run(exps []Experiment, par int, emit func(*Table)) {
+// If points panic, Run drains the in-flight work, skips emission from the
+// first failed spec onward, and re-panics with every failed experiment ID
+// and its first panic message — multiple failures are aggregated, not
+// dropped.
+func Run(specs []*Spec, par int, emit func(*Table)) {
 	if par < 1 {
 		par = 1
 	}
-	if len(exps) == 0 {
+	if len(specs) == 0 {
 		return
 	}
 
-	type result struct {
-		tbl   *Table
-		panic interface{}
+	type state struct {
+		pts     []Point
+		rows    []Row
+		cells   [][]string
+		pending int64
+		nfail   int64
+		panicAt []string // per point, "" = ok; reported in grid order
+		done    chan struct{}
 	}
-	results := make([]chan result, len(exps))
-	for i := range results {
-		results[i] = make(chan result, 1)
-	}
+	type job struct{ si, pi int }
 
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, e := range exps {
-		wg.Add(1)
-		go func(i int, e Experiment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	sts := make([]*state, len(specs))
+	var jobs []job
+	for si, s := range specs {
+		st := &state{done: make(chan struct{})}
+		// Grid enumeration runs spec-authored hooks (Dyn axes, Skip), so
+		// a panic there is an experiment failure like any other and must
+		// carry the experiment's ID.
+		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					results[i] <- result{panic: fmt.Sprintf("harness: experiment %s: %v", e.ID, r)}
+					st.panicAt = []string{fmt.Sprintf("grid enumeration: %v", r)}
+					st.nfail = 1
 				}
 			}()
-			results[i] <- result{tbl: e.Run()}
-		}(i, e)
-	}
-
-	var failure interface{}
-	for i := range exps {
-		r := <-results[i]
-		if r.panic != nil {
-			if failure == nil {
-				failure = r.panic
-			}
+			st.pts = s.Points()
+		}()
+		st.rows = make([]Row, len(st.pts))
+		st.cells = make([][]string, len(st.pts))
+		if st.nfail == 0 {
+			st.panicAt = make([]string, len(st.pts))
+		}
+		st.pending = int64(len(st.pts))
+		sts[si] = st
+		if st.nfail > 0 || len(st.pts) == 0 {
+			close(st.done)
 			continue
 		}
-		if failure == nil {
-			emit(r.tbl)
+		for pi := range st.pts {
+			jobs = append(jobs, job{si, pi})
 		}
 	}
+
+	jobCh := make(chan job)
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+	}()
+
+	workers := par
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				s, st := specs[j.si], sts[j.si]
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							st.panicAt[j.pi] = fmt.Sprint(r)
+							atomic.AddInt64(&st.nfail, 1)
+						}
+						if atomic.AddInt64(&st.pending, -1) == 0 {
+							close(st.done)
+						}
+					}()
+					p := st.pts[j.pi]
+					row := s.Point(p)
+					st.cells[j.pi] = s.cells(p, row)
+					st.rows[j.pi] = row
+				}()
+			}
+		}()
+	}
+
+	var failures []string
+	for si, s := range specs {
+		st := sts[si]
+		<-st.done
+		if nfail := atomic.LoadInt64(&st.nfail); nfail > 0 {
+			var msg string
+			for _, pm := range st.panicAt {
+				if pm != "" {
+					msg = pm // first failed point in grid order: deterministic at any par
+					break
+				}
+			}
+			if nfail > 1 {
+				msg = fmt.Sprintf("%s (and %d more failed points)", msg, nfail-1)
+			}
+			failures = append(failures, fmt.Sprintf("%s: %s", s.ID, msg))
+			continue
+		}
+		if len(failures) > 0 {
+			continue // deterministic prefix only: no emission past a failure
+		}
+		var tbl *Table
+		if perr := func() (msg string) {
+			defer func() {
+				if r := recover(); r != nil {
+					msg = fmt.Sprint(r)
+				}
+			}()
+			tbl = s.assemble(st.rows, st.cells)
+			return ""
+		}(); perr != "" {
+			failures = append(failures, fmt.Sprintf("%s: %s", s.ID, perr))
+			continue
+		}
+		emit(tbl)
+	}
 	wg.Wait()
-	if failure != nil {
-		panic(failure)
+	switch len(failures) {
+	case 0:
+	case 1:
+		panic("harness: experiment " + failures[0])
+	default:
+		panic(fmt.Sprintf("harness: %d experiments failed: %s", len(failures), strings.Join(failures, "; ")))
 	}
 }
 

@@ -7,25 +7,36 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/rng"
 )
+
+// sleepSpec is a single-point spec that sleeps and then emits one row —
+// the minimal unit for scheduler-behavior tests.
+func sleepSpec(id string, d time.Duration, body func()) *Spec {
+	return &Spec{
+		ID:      id,
+		Columns: Cols("x"),
+		Point: func(Point) Row {
+			if body != nil {
+				body()
+			}
+			time.Sleep(d)
+			return Row{1}
+		},
+	}
+}
 
 // TestRunEmitsInOrder: emission order must be input order even when later
 // experiments finish first.
 func TestRunEmitsInOrder(t *testing.T) {
 	const n = 8
-	exps := make([]Experiment, n)
-	for i := range exps {
-		i := i
-		exps[i] = Experiment{
-			ID: fmt.Sprintf("T-%d", i),
-			Run: func() *Table {
-				time.Sleep(time.Duration(n-i) * time.Millisecond) // earlier = slower
-				return &Table{ID: fmt.Sprintf("T-%d", i)}
-			},
-		}
+	specs := make([]*Spec, n)
+	for i := range specs {
+		specs[i] = sleepSpec(fmt.Sprintf("T-%d", i), time.Duration(n-i)*time.Millisecond, nil)
 	}
 	var got []string
-	Run(exps, n, func(tbl *Table) { got = append(got, tbl.ID) })
+	Run(specs, n, func(tbl *Table) { got = append(got, tbl.ID) })
 	for i, id := range got {
 		if want := fmt.Sprintf("T-%d", i); id != want {
 			t.Fatalf("emission %d = %s, want %s (full order %v)", i, id, want, got)
@@ -36,41 +47,71 @@ func TestRunEmitsInOrder(t *testing.T) {
 	}
 }
 
-// TestRunBoundsConcurrency: no more than par experiments may run at once.
+// TestRunBoundsConcurrency: no more than par points may run at once, even
+// across specs sharing the pool.
 func TestRunBoundsConcurrency(t *testing.T) {
 	const n, par = 12, 3
 	var inFlight, peak int64
-	exps := make([]Experiment, n)
-	for i := range exps {
-		exps[i] = Experiment{
-			ID: fmt.Sprintf("T-%d", i),
-			Run: func() *Table {
-				cur := atomic.AddInt64(&inFlight, 1)
-				for {
-					old := atomic.LoadInt64(&peak)
-					if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
-						break
-					}
+	specs := make([]*Spec, n)
+	for i := range specs {
+		specs[i] = sleepSpec(fmt.Sprintf("T-%d", i), 2*time.Millisecond, func() {
+			cur := atomic.AddInt64(&inFlight, 1)
+			for {
+				old := atomic.LoadInt64(&peak)
+				if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+					break
 				}
-				time.Sleep(2 * time.Millisecond)
-				atomic.AddInt64(&inFlight, -1)
-				return &Table{}
-			},
+			}
+		})
+		spec := specs[i]
+		inner := spec.Point
+		spec.Point = func(p Point) Row {
+			defer atomic.AddInt64(&inFlight, -1)
+			return inner(p)
 		}
 	}
-	Run(exps, par, func(*Table) {})
+	Run(specs, par, func(*Table) {})
 	if p := atomic.LoadInt64(&peak); p > par {
-		t.Fatalf("observed %d concurrent experiments, budget %d", p, par)
+		t.Fatalf("observed %d concurrent points, budget %d", p, par)
+	}
+}
+
+// TestRunSchedulesPointsNotExperiments: one artificially slow experiment
+// must spread its points across the pool, so total wall-clock stays
+// measurably below the serial sum. The bound is deliberately coarse
+// (half the serial sum, where perfect scheduling gives a quarter) to stay
+// robust on loaded CI machines.
+func TestRunSchedulesPointsNotExperiments(t *testing.T) {
+	const points, sleep, par = 8, 40 * time.Millisecond, 4
+	slow := &Spec{
+		ID:      "SLOW",
+		Axes:    []Axis{{Name: "i", Values: Ints(0, 1, 2, 3, 4, 5, 6, 7)}},
+		Columns: Cols("i"),
+		Point: func(p Point) Row {
+			time.Sleep(sleep)
+			return Row{p.Int("i")}
+		},
+	}
+	start := time.Now()
+	var rows int
+	Run([]*Spec{slow}, par, func(tbl *Table) { rows = len(tbl.Rows) })
+	elapsed := time.Since(start)
+	if rows != points {
+		t.Fatalf("emitted %d rows, want %d", rows, points)
+	}
+	serial := time.Duration(points) * sleep
+	if elapsed >= serial/2 {
+		t.Errorf("wall-clock %v not measurably below the serial sum %v at par %d — points not scheduled individually", elapsed, serial, par)
 	}
 }
 
 // TestRunPanicPropagates: a panicking experiment must not deadlock the
 // pool, and the panic must surface with the experiment's ID.
 func TestRunPanicPropagates(t *testing.T) {
-	exps := []Experiment{
-		{ID: "OK-1", Run: func() *Table { return &Table{} }},
-		{ID: "BOOM", Run: func() *Table { panic("kaput") }},
-		{ID: "OK-2", Run: func() *Table { return &Table{} }},
+	specs := []*Spec{
+		sleepSpec("OK-1", 0, nil),
+		{ID: "BOOM", Columns: Cols("x"), Point: func(Point) Row { panic("kaput") }},
+		sleepSpec("OK-2", 0, nil),
 	}
 	defer func() {
 		r := recover()
@@ -82,27 +123,167 @@ func TestRunPanicPropagates(t *testing.T) {
 			t.Fatalf("panic %q lacks experiment context", msg)
 		}
 	}()
-	Run(exps, 2, func(*Table) {})
+	Run(specs, 2, func(*Table) {})
+}
+
+// TestRunAggregatesAllFailures: with several failing experiments the
+// final panic must name every failed experiment ID, not just the first,
+// and tables ahead of the first failure must still be emitted.
+func TestRunAggregatesAllFailures(t *testing.T) {
+	specs := []*Spec{
+		sleepSpec("OK-1", 0, nil),
+		{ID: "BOOM-1", Columns: Cols("x"), Point: func(Point) Row { panic("first failure") }},
+		sleepSpec("OK-2", 0, nil),
+		{ID: "BOOM-2", Columns: Cols("x"), Point: func(Point) Row { panic("second failure") }},
+	}
+	var emitted []string
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic despite two failing experiments")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"BOOM-1", "first failure", "BOOM-2", "second failure"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("aggregated panic %q is missing %q", msg, want)
+			}
+		}
+		if len(emitted) != 1 || emitted[0] != "OK-1" {
+			t.Errorf("emitted %v, want the deterministic prefix [OK-1]", emitted)
+		}
+	}()
+	Run(specs, 4, func(tbl *Table) { emitted = append(emitted, tbl.ID) })
+}
+
+// TestRunEnumerationPanicCarriesID: a panic inside grid enumeration (a
+// Dyn axis or Skip hook — spec-authored code) must be reported with the
+// experiment's ID like any point failure, and must not block the
+// deterministic prefix ahead of it.
+func TestRunEnumerationPanicCarriesID(t *testing.T) {
+	specs := []*Spec{
+		sleepSpec("OK-1", 0, nil),
+		{
+			ID:      "BAD-GRID",
+			Axes:    []Axis{{Name: "x", Dyn: func(Point) []interface{} { panic("axis exploded") }}},
+			Columns: Cols("x"),
+			Point:   func(p Point) Row { return Row{p.Int("x")} },
+		},
+		sleepSpec("OK-2", 0, nil),
+	}
+	var emitted []string
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("enumeration panic did not propagate")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "BAD-GRID") || !strings.Contains(msg, "axis exploded") {
+			t.Fatalf("panic %q lacks the failing experiment's ID", msg)
+		}
+		if len(emitted) != 1 || emitted[0] != "OK-1" {
+			t.Errorf("emitted %v, want the deterministic prefix [OK-1]", emitted)
+		}
+	}()
+	Run(specs, 4, func(tbl *Table) { emitted = append(emitted, tbl.ID) })
+}
+
+// runQuiet renders the specs at the given par, capturing a panic (the
+// failure-path output) instead of propagating it.
+func runQuiet(specs []*Spec, par int) (out []byte, failure string) {
+	var buf bytes.Buffer
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				failure = fmt.Sprint(r)
+			}
+		}()
+		Run(specs, par, func(tbl *Table) { tbl.Render(&buf) })
+	}()
+	return buf.Bytes(), failure
+}
+
+// TestRunRandomizedParByteIdentity is the scheduler's property test:
+// across randomized par values, emitted bytes must be byte-identical to
+// par 1 — including with a panic-injecting spec in the mix, where the
+// emitted prefix and the aggregated failure message must also be stable.
+func TestRunRandomizedParByteIdentity(t *testing.T) {
+	mkSpecs := func(withPanic bool) []*Spec {
+		grid := &Spec{
+			ID:    "GRID",
+			Title: "synthetic multi-axis grid",
+			Axes: []Axis{
+				{Name: "a", Values: Ints(1, 2, 3)},
+				{Name: "b", Values: Ints(10, 20, 30, 40)},
+				{Name: "c", Dyn: func(outer Point) []interface{} { return Ints(0, outer.Int("a")) }},
+			},
+			Skip: func(p Point) bool { return p.Int("b") == 30 && p.Int("c") == 0 },
+			Columns: append(Cols("a", "b", "c", "sum"),
+				Column{Name: "ratio", Pred: func(p Point) float64 { return float64(p.Int("b")) }}),
+			Derived: []DerivedColumn{
+				{Name: "vs first", From: func(rows []Row, i int) interface{} {
+					return toFloat(rows[i][3]) / toFloat(rows[0][3])
+				}},
+			},
+			Point: func(p Point) Row {
+				s := p.Int("a") + p.Int("b") + p.Int("c")
+				return Row{p.Int("a"), p.Int("b"), p.Int("c"), s, s}
+			},
+		}
+		specs := []*Spec{grid}
+		if withPanic {
+			bomb := &Spec{
+				ID:      "BOMB",
+				Axes:    []Axis{{Name: "i", Values: Ints(0, 1, 2, 3, 4, 5)}},
+				Columns: Cols("i"),
+				Point: func(p Point) Row {
+					if p.Int("i") >= 3 {
+						panic(fmt.Sprintf("injected at %d", p.Int("i")))
+					}
+					return Row{p.Int("i")}
+				},
+			}
+			specs = append(specs, bomb, sleepSpec("AFTER", 0, nil))
+		}
+		return specs
+	}
+
+	for _, withPanic := range []bool{false, true} {
+		wantOut, wantFail := runQuiet(mkSpecs(withPanic), 1)
+		if withPanic == (wantFail == "") {
+			t.Fatalf("withPanic=%v but failure=%q", withPanic, wantFail)
+		}
+		r := rng.New(42)
+		for trial := 0; trial < 12; trial++ {
+			par := 2 + int(r.Intn(15))
+			out, fail := runQuiet(mkSpecs(withPanic), par)
+			if !bytes.Equal(out, wantOut) {
+				t.Fatalf("withPanic=%v par=%d: output differs from par=1", withPanic, par)
+			}
+			if fail != wantFail {
+				t.Fatalf("withPanic=%v par=%d: failure %q != par=1 failure %q", withPanic, par, fail, wantFail)
+			}
+		}
+	}
 }
 
 // TestParallelHarnessDeterminism renders a set of real experiments at
 // par=1 and par=8 and demands byte-identical output — the acceptance
-// criterion behind aembench's -par flag. Fast, bounds-oriented
+// criterion behind aem bench's -par flag. Fast, bounds-oriented
 // experiments keep the test snappy; every experiment derives its inputs
 // from fixed seeds, so any divergence means shared mutable state.
 func TestParallelHarnessDeterminism(t *testing.T) {
 	ids := []string{"EXP-B1", "EXP-P2", "EXP-F2", "EXP-R1"}
-	var exps []Experiment
+	var specs []*Spec
 	for _, id := range ids {
-		e, ok := ByID(id)
+		s, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %s missing", id)
 		}
-		exps = append(exps, e)
+		specs = append(specs, s)
 	}
 	render := func(par int) []byte {
 		var buf bytes.Buffer
-		Run(exps, par, func(tbl *Table) { tbl.Render(&buf) })
+		Run(specs, par, func(tbl *Table) { tbl.Render(&buf) })
 		return buf.Bytes()
 	}
 	seq := render(1)

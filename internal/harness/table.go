@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -112,20 +113,67 @@ func writeCSVRow(w io.Writer, cells []string) {
 	fmt.Fprintln(w, strings.Join(parts, ","))
 }
 
-// Experiment is a named, self-contained reproduction unit.
-type Experiment struct {
-	ID    string
-	Title string
-	Claim string
-	Run   func() *Table
-}
-
-// ByID returns the experiment with the given id.
-func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
+// JSON writes the table as JSON Lines: one record per row carrying the
+// experiment identity and the formatted cells (measured and predicted
+// columns included) — the structured form benchmark artifacts are built
+// from.
+func (t *Table) JSON(w io.Writer) error {
+	type record struct {
+		Experiment string   `json:"experiment"`
+		Title      string   `json:"title"`
+		Row        int      `json:"row"`
+		Columns    []string `json:"columns"`
+		Values     []string `json:"values"`
+	}
+	enc := json.NewEncoder(w)
+	for i, row := range t.Rows {
+		if err := enc.Encode(record{t.ID, t.Title, i, t.Columns, row}); err != nil {
+			return err
 		}
 	}
-	return Experiment{}, false
+	return nil
+}
+
+// ByID returns the spec with the given experiment id.
+func ByID(id string) (*Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Select resolves a comma-separated list of experiment ids into specs, in
+// the order given (duplicates collapse to the first mention). The empty
+// string and "all" select the full registry. Unknown ids produce one
+// error naming every unknown id, so a long selection fails with full
+// diagnostics instead of on the first typo.
+func Select(ids string) ([]*Spec, error) {
+	if s := strings.TrimSpace(ids); s == "" || s == "all" {
+		return All(), nil
+	}
+	var specs []*Spec
+	var unknown []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(ids, ",") {
+		id := strings.TrimSpace(raw)
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		s, ok := ByID(id)
+		if !ok {
+			unknown = append(unknown, id)
+			continue
+		}
+		specs = append(specs, s)
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown experiment(s) %s (see -list for the index)", strings.Join(unknown, ", "))
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return specs, nil
 }
