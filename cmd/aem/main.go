@@ -1,7 +1,9 @@
 // Command aem is the repository's multitool: every workload driver and
 // the experiment harness behind one binary.
 //
-//	aem bench    run the experiment registry (tables, CSV, JSON records)
+//	aem bench    run the experiment registry (tables, CSV, JSON records),
+//	             locally or as one shard of a distributed run (-shard i/m)
+//	aem merge    reassemble shard point records into the unsharded tables
 //	aem dict     dictionary op streams: buffer tree vs B-tree vs bounds
 //	aem sort     sorting workloads vs the paper's bounds
 //	aem spmxv    sparse matrix × dense vector, both Section 5 algorithms

@@ -7,15 +7,18 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/harness"
 )
 
 // benchCmd regenerates the repository's experiments: one table per
-// theorem/lemma of the paper, run as declarative grid specs on a shared
-// point-granular worker pool (-par). Tables are always emitted in index
-// order, so the output is byte-identical at every parallelism level.
+// theorem/lemma of the paper, run as declarative grid specs on a
+// pluggable executor — the in-process point-granular worker pool by
+// default, or one shard of a distributed run with -shard (see mergeCmd
+// for reassembly). Tables are always emitted in index order, so the
+// output is byte-identical at every parallelism level.
 //
 //	aem bench -list                 list experiment ids
 //	aem bench                       run every experiment, tables to stdout
@@ -23,12 +26,16 @@ import (
 //	aem bench -par 8                run grid points on 8 workers
 //	aem bench -csv out/             additionally write one CSV per experiment
 //	aem bench -json                 JSON Lines to stdout, one record per row
+//	aem bench -timing               append per-point wall-clock columns
+//	aem bench -shard 0/2 -json      run shard 0 of 2, emit point records
 func benchCmd(prog string, args []string) int {
 	fs := flag.NewFlagSet(prog, flag.ExitOnError)
 	var (
 		expIDs  = fs.String("exp", "all", "comma-separated experiment ids to run, or 'all'")
 		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files into")
 		jsonOut = fs.Bool("json", false, "emit JSON Lines (one record per table row, measured and predicted columns included) instead of rendered tables")
+		timing  = fs.Bool("timing", false, "append per-point wall-clock columns to tables/CSV and a wall_ns field to -json records (nondeterministic; off by default so recorded output stays stable)")
+		shard   = fs.String("shard", "", "run only shard i of m (format i/m) and emit JSON Lines point records for `aem merge`; requires -json")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		par     = fs.Int("par", runtime.NumCPU(), "number of grid points to run concurrently")
 	)
@@ -38,13 +45,42 @@ func benchCmd(prog string, args []string) int {
 		for _, s := range harness.All() {
 			fmt.Printf("%-8s %s\n", s.ID, s.Index)
 		}
+		fmt.Println("auxiliary (not in 'all'; run with -exp):")
+		for _, s := range harness.Aux() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Index)
+		}
 		return 0
 	}
 
-	specs, err := harness.Select(*expIDs)
+	specs, warnings, err := harness.Select(*expIDs)
+	for _, w := range warnings {
+		fail(prog, "warning: %s", w)
+	}
 	if err != nil {
 		fail(prog, "%v", err)
 		return 2
+	}
+
+	if *shard != "" {
+		idx, cnt, err := parseShard(*shard)
+		if err != nil {
+			fail(prog, "%v", err)
+			return 2
+		}
+		if !*jsonOut {
+			fail(prog, "-shard emits JSON Lines point records; pass -json")
+			return 2
+		}
+		if *csvDir != "" || *timing {
+			fail(prog, "-csv and -timing apply at merge time, not to a shard run")
+			return 2
+		}
+		ex := &harness.ShardExecutor{Index: idx, Count: cnt, Par: *par, W: os.Stdout}
+		if err := ex.Execute(specs, nil); err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *csvDir != "" {
@@ -54,8 +90,9 @@ func benchCmd(prog string, args []string) int {
 		}
 	}
 
+	ex := &harness.LocalPool{Par: *par, Timing: *timing}
 	var firstErr error
-	harness.Run(specs, *par, func(tbl *harness.Table) {
+	ex.Execute(specs, func(tbl *harness.Table) {
 		if *jsonOut {
 			if err := tbl.JSON(os.Stdout); err != nil && firstErr == nil {
 				firstErr = err
@@ -76,28 +113,57 @@ func benchCmd(prog string, args []string) int {
 	return 0
 }
 
+// parseShard parses an i/m shard designator. Parsing is strict — exactly
+// two integers and one slash, no trailing input — so a fat-fingered
+// designator fails here rather than producing a shard of the wrong
+// partition that only trips up `aem merge` later.
+func parseShard(s string) (idx, cnt int, err error) {
+	si, sm, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/m, e.g. 0/2", s)
+	}
+	idx, ierr := strconv.Atoi(si)
+	cnt, merr := strconv.Atoi(sm)
+	if ierr != nil || merr != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/m, e.g. 0/2", s)
+	}
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return 0, 0, fmt.Errorf("invalid -shard %q: need 0 ≤ i < m", s)
+	}
+	return idx, cnt, nil
+}
+
 // writeCSVAtomic writes the table's CSV into dir through a temp file
 // renamed into place on success, so a failed or interrupted run never
-// leaves a truncated CSV behind.
-func writeCSVAtomic(dir string, tbl *harness.Table) error {
+// leaves a truncated CSV behind. The temp file is removed on every
+// non-renamed exit — write error, close error, rename error, or a panic
+// unwinding through — so failures never strand *.tmp files in the output
+// directory either.
+func writeCSVAtomic(dir string, tbl *harness.Table) (err error) {
 	name := strings.ToLower(strings.ReplaceAll(tbl.ID, "EXP-", "exp_")) + ".csv"
 	f, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
+	renamed := false
+	defer func() {
+		if !renamed {
+			f.Close() // no-op if already closed
+			os.Remove(tmp)
+		}
+	}()
 	w := bufio.NewWriter(f)
 	tbl.CSV(w)
-	err = w.Flush()
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, filepath.Join(dir, name))
-	}
-	if err != nil {
-		os.Remove(tmp)
+	if err := w.Flush(); err != nil {
 		return err
 	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	renamed = true
 	return nil
 }

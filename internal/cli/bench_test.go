@@ -3,6 +3,7 @@ package cli
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/harness"
@@ -37,6 +38,44 @@ func TestWriteCSVAtomic(t *testing.T) {
 	bad := filepath.Join(dir, "missing", "deeper")
 	if err := writeCSVAtomic(bad, tbl); err == nil {
 		t.Error("writeCSVAtomic into a missing directory succeeded")
+	}
+}
+
+// TestWriteCSVAtomicCleansUpOnRenameFailure: when the final rename fails
+// (here: the target name is occupied by a directory), the temp file must
+// be removed — failures never strand *.tmp files in the output directory.
+func TestWriteCSVAtomicCleansUpOnRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &harness.Table{ID: "EXP-T1", Columns: []string{"a"}}
+	tbl.AddRow(1)
+	if err := os.Mkdir(filepath.Join(dir, "exp_t1.csv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSVAtomic(dir, tbl); err == nil {
+		t.Fatal("rename onto a directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s stranded after a rename failure", e.Name())
+		}
+	}
+}
+
+// TestBenchCmdWarnsOnDuplicateExp: a duplicated id in -exp still runs
+// (deduplicated) rather than emitting a table twice; the warning path is
+// pinned at the harness layer (TestSelect).
+func TestBenchCmdWarnsOnDuplicateExp(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := benchCmd("aem bench", []string{"-exp", "EXP-B1,EXP-B1"}); code != 0 {
+			t.Errorf("exit code %d", code)
+		}
+	})
+	if n := strings.Count(string(out), "EXP-B1 —"); n != 1 {
+		t.Fatalf("duplicated -exp id rendered %d tables, want 1\n%s", n, out)
 	}
 }
 

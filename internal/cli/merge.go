@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/harness"
+)
+
+// mergeCmd reassembles a sharded `aem bench` run: given the JSON Lines
+// point-record files written by `aem bench -shard i/m -json`, it verifies
+// the shard set is complete and consistent (no shard missing, duplicated
+// or overlapping; no grid point missing or duplicated), re-runs the
+// derived/summary columns over the merged grid, and renders output
+// byte-identical to a single-machine `aem bench` of the same selection.
+//
+//	aem merge shard0.jsonl shard1.jsonl           rendered tables to stdout
+//	aem merge -json shard*.jsonl                  JSON Lines, one record per row
+//	aem merge -csv out/ shard*.jsonl              additionally write CSVs
+//	aem merge -timing shard*.jsonl                append per-point wall-clock
+//
+// Points that panicked on a shard surface here exactly as an unsharded
+// run reports them: aggregated per experiment, emission stopping at the
+// first failed experiment.
+func mergeCmd(prog string, args []string) int {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	var (
+		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		jsonOut = fs.Bool("json", false, "emit JSON Lines (one record per table row) instead of rendered tables")
+		timing  = fs.Bool("timing", false, "append the shards' per-point wall-clock columns / wall_ns fields")
+	)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fail(prog, "no shard files given (run `aem bench -shard i/m -json` to produce them)")
+		return 2
+	}
+
+	var files []*harness.ShardFile
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+		sf, perr := harness.ReadShardFile(f)
+		f.Close()
+		if perr != nil {
+			fail(prog, "%s: %v", path, perr)
+			return 1
+		}
+		files = append(files, sf)
+	}
+
+	// The manifest names the experiments the shards ran, in run order;
+	// resolve them against this binary's registry.
+	var specs []*harness.Spec
+	for _, id := range files[0].Manifest.Experiments {
+		s, ok := harness.ByID(id)
+		if !ok {
+			fail(prog, "shard file names unknown experiment %s (built from a different registry?)", id)
+			return 1
+		}
+		specs = append(specs, s)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+	}
+
+	var firstErr error
+	err := harness.MergeShards(specs, files, *timing, func(tbl *harness.Table) {
+		if *jsonOut {
+			if err := tbl.JSON(os.Stdout); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		if *csvDir != "" && firstErr == nil {
+			if err := writeCSVAtomic(*csvDir, tbl); err != nil {
+				firstErr = err
+			}
+		}
+	})
+	if err != nil {
+		fail(prog, "%v", err)
+		return 1
+	}
+	if firstErr != nil {
+		fail(prog, "%v", firstErr)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package cli
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it wrote. The pipe is drained concurrently so
+// multi-table output cannot deadlock on the pipe buffer.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	defer func() {
+		os.Stdout = old
+		r.Close()
+	}()
+	fn()
+	os.Stdout = old
+	w.Close()
+	return <-done
+}
+
+// TestShardFlagValidation: malformed or inconsistent -shard invocations
+// exit 2 before running anything.
+func TestShardFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"bad format", []string{"-shard", "zero/two", "-json"}},
+		{"trailing garbage", []string{"-shard", "0/2x", "-json"}},
+		{"extra separator", []string{"-shard", "1/2/9", "-json"}},
+		{"index out of range", []string{"-shard", "2/2", "-json"}},
+		{"negative index", []string{"-shard", "-1/2", "-json"}},
+		{"requires json", []string{"-shard", "0/2"}},
+		{"csv incompatible", []string{"-shard", "0/2", "-json", "-csv", t.TempDir()}},
+		{"timing incompatible", []string{"-shard", "0/2", "-json", "-timing"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := benchCmd("aem bench", append([]string{"-exp", "EXP-B1"}, tc.args...)); code != 2 {
+				t.Fatalf("exit code %d, want 2", code)
+			}
+		})
+	}
+}
+
+// TestMergeCmdArgValidation: no files and unreadable files are clean
+// CLI errors, not panics.
+func TestMergeCmdArgValidation(t *testing.T) {
+	if code := mergeCmd("aem merge", nil); code != 2 {
+		t.Fatalf("no-args exit code %d, want 2", code)
+	}
+	if code := mergeCmd("aem merge", []string{filepath.Join(t.TempDir(), "nope.jsonl")}); code != 1 {
+		t.Fatalf("missing-file exit code %d, want 1", code)
+	}
+}
+
+// TestBenchShardMergeRoundTrip drives the full CLI path: two `aem bench
+// -shard i/2 -json` runs, `aem merge` over the written files, and a
+// byte-compare against the unsharded `aem bench` output — rendered, JSON
+// and CSV forms. This is the workflow the CI shard matrix executes.
+func TestBenchShardMergeRoundTrip(t *testing.T) {
+	const sel = "EXP-B1,EXP-F2,EXP-P2"
+	dir := t.TempDir()
+
+	var shardPaths []string
+	for i := 0; i < 2; i++ {
+		out := captureStdout(t, func() {
+			if code := benchCmd("aem bench", []string{"-exp", sel, "-shard", []string{"0/2", "1/2"}[i], "-json", "-par", "2"}); code != 0 {
+				t.Errorf("shard %d exit code %d", i, code)
+			}
+		})
+		p := filepath.Join(dir, []string{"s0.jsonl", "s1.jsonl"}[i])
+		if err := os.WriteFile(p, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		shardPaths = append(shardPaths, p)
+	}
+
+	singleDir, mergedDir := filepath.Join(dir, "single"), filepath.Join(dir, "merged")
+	single := captureStdout(t, func() {
+		if code := benchCmd("aem bench", []string{"-exp", sel, "-par", "2", "-csv", singleDir}); code != 0 {
+			t.Errorf("unsharded exit code %d", code)
+		}
+	})
+	merged := captureStdout(t, func() {
+		if code := mergeCmd("aem merge", append([]string{"-csv", mergedDir}, shardPaths...)); code != 0 {
+			t.Errorf("merge exit code %d", code)
+		}
+	})
+	if !bytes.Equal(single, merged) {
+		t.Fatalf("merged CLI output differs from unsharded:\n--- single ---\n%s\n--- merged ---\n%s", single, merged)
+	}
+
+	singleJSON := captureStdout(t, func() {
+		benchCmd("aem bench", []string{"-exp", sel, "-par", "2", "-json"})
+	})
+	mergedJSON := captureStdout(t, func() {
+		mergeCmd("aem merge", append([]string{"-json"}, shardPaths...))
+	})
+	if !bytes.Equal(singleJSON, mergedJSON) {
+		t.Fatal("merged -json output differs from unsharded -json")
+	}
+
+	entries, err := os.ReadDir(singleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("unsharded run wrote no CSVs")
+	}
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(singleDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(mergedDir, e.Name()))
+		if err != nil {
+			t.Fatalf("merged run missing CSV %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("CSV %s differs between unsharded and merged runs", e.Name())
+		}
+	}
+}

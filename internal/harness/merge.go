@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeShards reassembles a sharded run: given the specs named by the
+// shard manifests (in manifest order — the caller resolves them, usually
+// via ByID) and every shard's parsed output, it verifies the shard set is
+// complete and consistent, verifies no grid point is missing or
+// duplicated, re-runs the derived/summary columns over the merged grid,
+// and emits tables byte-identical to a single-machine run of the same
+// selection — including the failure behavior: points that panicked on a
+// shard panic here with the same aggregated experiment IDs and messages
+// an unsharded Run produces.
+//
+// The returned error covers integrity problems with the shard set itself
+// (missing/duplicate/overlapping shards, foreign or torn files, registry
+// drift); experiment failures panic, per the harness contract.
+//
+// With timing set, each table carries the per-point wall-clock recorded
+// by the shards (Table.WallNS).
+func MergeShards(specs []*Spec, files []*ShardFile, timing bool, emit func(*Table)) error {
+	if len(files) == 0 {
+		return fmt.Errorf("no shard files to merge")
+	}
+
+	// The first manifest fixes the partition; every other file must agree.
+	ref := files[0].Manifest
+	if ref.Of < 1 {
+		return fmt.Errorf("shard %d: invalid shard count %d", ref.Shard, ref.Of)
+	}
+	seenShard := make(map[int]bool)
+	for _, f := range files {
+		m := f.Manifest
+		if m.Of != ref.Of {
+			return fmt.Errorf("shard files disagree: %d-way and %d-way partitions mixed", ref.Of, m.Of)
+		}
+		if m.Shard < 0 || m.Shard >= m.Of {
+			return fmt.Errorf("shard index %d out of range for a %d-way partition", m.Shard, m.Of)
+		}
+		if seenShard[m.Shard] {
+			return fmt.Errorf("duplicate shard %d/%d: the same shard appears in two files", m.Shard, m.Of)
+		}
+		seenShard[m.Shard] = true
+		if len(m.Experiments) != len(ref.Experiments) {
+			return fmt.Errorf("shard files disagree on the experiment selection")
+		}
+		for i, id := range m.Experiments {
+			if id != ref.Experiments[i] {
+				return fmt.Errorf("shard files disagree on the experiment selection: %s vs %s", id, ref.Experiments[i])
+			}
+		}
+		if m.GridPoints != ref.GridPoints {
+			return fmt.Errorf("shard files disagree on the grid size: %d vs %d points", m.GridPoints, ref.GridPoints)
+		}
+	}
+	if len(seenShard) != ref.Of {
+		var missing []int
+		for i := 0; i < ref.Of; i++ {
+			if !seenShard[i] {
+				missing = append(missing, i)
+			}
+		}
+		return fmt.Errorf("incomplete shard set: missing shard(s) %v of %d", missing, ref.Of)
+	}
+
+	if len(specs) != len(ref.Experiments) {
+		return fmt.Errorf("merge given %d specs for %d experiments in the shard manifest", len(specs), len(ref.Experiments))
+	}
+	bySpec := make(map[string]int, len(specs))
+	for i, s := range specs {
+		if s.ID != ref.Experiments[i] {
+			return fmt.Errorf("merge spec %d is %s, shard manifest says %s", i, s.ID, ref.Experiments[i])
+		}
+		bySpec[s.ID] = i
+	}
+
+	// Re-enumerate the grids: the merge binary carries the same registry,
+	// so the expected point set — and any deterministic grid-enumeration
+	// failure — reproduces here without a record.
+	sts := newSpecStates(specs)
+	base := make([]int, len(specs)) // each spec's first global point index
+	total := 0
+	for si, st := range sts {
+		base[si] = total
+		total += len(st.pts)
+	}
+	if total != ref.GridPoints {
+		return fmt.Errorf("shards were produced from a different grid: %d points there, %d here (registry drift?)", ref.GridPoints, total)
+	}
+
+	filled := make([][]bool, len(specs))
+	for si, st := range sts {
+		filled[si] = make([]bool, len(st.pts))
+	}
+	for _, f := range files {
+		for _, rec := range f.Records {
+			si, ok := bySpec[rec.Experiment]
+			if !ok {
+				return fmt.Errorf("shard %d: record for experiment %s, which is not in the manifest", f.Manifest.Shard, rec.Experiment)
+			}
+			st := sts[si]
+			if rec.Points != len(st.pts) {
+				return fmt.Errorf("shard %d: %s has %d grid points, record says %d (registry drift?)", f.Manifest.Shard, rec.Experiment, len(st.pts), rec.Points)
+			}
+			if rec.Index < 0 || rec.Index >= len(st.pts) {
+				return fmt.Errorf("shard %d: %s point %d out of range [0,%d)", f.Manifest.Shard, rec.Experiment, rec.Index, len(st.pts))
+			}
+			if owner := (base[si] + rec.Index) % ref.Of; owner != f.Manifest.Shard {
+				return fmt.Errorf("overlapping shards: %s point %d belongs to shard %d but appears in shard %d", rec.Experiment, rec.Index, owner, f.Manifest.Shard)
+			}
+			if filled[si][rec.Index] {
+				return fmt.Errorf("duplicated point: %s point %d appears twice in the shard set", rec.Experiment, rec.Index)
+			}
+			filled[si][rec.Index] = true
+			if rec.Panic != "" {
+				st.panicAt[rec.Index] = rec.Panic
+				st.nfail++
+			} else {
+				// A healthy record carries exactly one raw value and one
+				// rendered cell per column; anything else is a torn or
+				// foreign file and must be rejected here, not crash the
+				// renderer or mis-align the merged table downstream.
+				ncols := len(specs[si].Columns)
+				if len(rec.Row) != ncols || len(rec.Cells) != ncols {
+					return fmt.Errorf("shard %d: torn record: %s point %d has %d row values and %d cells for %d columns",
+						f.Manifest.Shard, rec.Experiment, rec.Index, len(rec.Row), len(rec.Cells), ncols)
+				}
+				st.rows[rec.Index] = Row(rec.Row)
+				st.cells[rec.Index] = rec.Cells
+			}
+			st.wallNS[rec.Index] = rec.WallNS
+		}
+	}
+	for si, st := range sts {
+		if st.enumFailed() {
+			continue // reproduced locally; shards recorded nothing for it
+		}
+		var missing []int
+		for pi, ok := range filled[si] {
+			if !ok {
+				missing = append(missing, pi)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Ints(missing)
+			return fmt.Errorf("incomplete shard set: %s is missing %d point(s), first %d", specs[si].ID, len(missing), missing[0])
+		}
+	}
+
+	// From here the path is byte-for-byte the unsharded one: the same
+	// assembly, derived-column evaluation, emission order and failure
+	// aggregation LocalPool runs, fed from records instead of workers.
+	var failures []string
+	for si, s := range specs {
+		completeSpec(s, sts[si], &failures, timing, emit)
+	}
+	panicOnFailures(failures)
+	return nil
+}

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the wire format of sharded execution: one shard = one
+// JSON Lines stream, a manifest line followed by one self-describing
+// record per grid point the shard owns. The records carry everything the
+// merge path needs to reassemble the exact tables an unsharded run emits
+// — raw row values (for re-running derived/summary columns over the full
+// merged grid), pre-rendered cells (so value formatting happens exactly
+// once, on the worker that measured the point), panic info (so failure
+// aggregation survives the merge), and the point's wall-clock.
+
+// ShardManifest is the first line of every shard file: which slice of
+// which run this file holds. Merge validation is built on it — shard
+// files from different partitions, selections or registry versions are
+// rejected instead of silently producing a wrong table.
+type ShardManifest struct {
+	Type        string   `json:"type"` // "shard"
+	Shard       int      `json:"shard"`
+	Of          int      `json:"of"`
+	Experiments []string `json:"experiments"`
+	GridPoints  int      `json:"grid_points"` // global point count across all experiments
+}
+
+// PointRecord is one grid point's result. Points is the experiment's
+// total grid size, a per-record consistency check against the merging
+// binary's own grid enumeration. Row is the raw measurement row — JSON
+// round-tripping decodes its numbers as float64, which the derived-column
+// machinery (toFloat) accepts losslessly for every measurement the
+// simulator produces. A panicked point carries the panic message instead
+// of row and cells.
+type PointRecord struct {
+	Type       string        `json:"type"` // "point"
+	Experiment string        `json:"experiment"`
+	Index      int           `json:"index"`  // grid index within the experiment
+	Points     int           `json:"points"` // the experiment's total grid points
+	Row        []interface{} `json:"row,omitempty"`
+	Cells      []string      `json:"cells,omitempty"`
+	Panic      string        `json:"panic,omitempty"`
+	WallNS     int64         `json:"wall_ns"`
+}
+
+// ShardFile is one parsed shard output.
+type ShardFile struct {
+	Manifest ShardManifest
+	Records  []PointRecord
+}
+
+// ReadShardFile parses one shard's JSON Lines output.
+func ReadShardFile(r io.Reader) (*ShardFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var sf *ShardFile
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("shard line %d: %v", line, err)
+		}
+		switch kind.Type {
+		case "shard":
+			if sf != nil {
+				return nil, fmt.Errorf("shard line %d: second manifest in one file", line)
+			}
+			sf = &ShardFile{}
+			if err := json.Unmarshal(raw, &sf.Manifest); err != nil {
+				return nil, fmt.Errorf("shard line %d: %v", line, err)
+			}
+		case "point":
+			if sf == nil {
+				return nil, fmt.Errorf("shard line %d: point record before the shard manifest", line)
+			}
+			var rec PointRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("shard line %d: %v", line, err)
+			}
+			sf.Records = append(sf.Records, rec)
+		default:
+			return nil, fmt.Errorf("shard line %d: unknown record type %q", line, kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sf == nil {
+		return nil, fmt.Errorf("not a shard file: no manifest record")
+	}
+	return sf, nil
+}
+
+// ShardExecutor runs shard Index of Count: the global point list — every
+// spec's grid in spec order, each grid in grid order — is partitioned
+// round-robin by global index, so the partition is deterministic, stable
+// across shards, and balanced even when one experiment dominates the
+// grid. Owned points run on a local pool of at most Par goroutines
+// (Par < 1 is treated as 1); results stream to W as JSON Lines point
+// records in grid order, preceded by the shard manifest.
+//
+// Unlike LocalPool, a panicking point is not fatal here: its panic
+// message travels in the point's record and surfaces — aggregated across
+// shards, exactly as an unsharded run would report it — when the shards
+// are merged. Execute still returns an error naming the number of failed
+// points, so a sharded CI job fails fast, but only after every record has
+// been written. emit is never called.
+type ShardExecutor struct {
+	Index, Count int
+	Par          int
+	W            io.Writer
+}
+
+// Execute implements Executor.
+func (e *ShardExecutor) Execute(specs []*Spec, emit func(*Table)) error {
+	if e.Count < 1 || e.Index < 0 || e.Index >= e.Count {
+		return fmt.Errorf("shard %d/%d out of range", e.Index, e.Count)
+	}
+	par := e.Par
+	if par < 1 {
+		par = 1
+	}
+
+	sts := newSpecStates(specs)
+	var jobs []job
+	owned := make([]map[int]bool, len(specs))
+	global, total := 0, 0
+	for si, st := range sts {
+		owned[si] = make(map[int]bool)
+		for pi := range st.pts {
+			if global%e.Count == e.Index {
+				owned[si][pi] = true
+				jobs = append(jobs, job{si, pi})
+			}
+			global++
+		}
+		total += len(st.pts)
+	}
+
+	runJobs(specs, sts, jobs, par, nil).Wait()
+
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	enc := json.NewEncoder(e.W)
+	if err := enc.Encode(ShardManifest{
+		Type: "shard", Shard: e.Index, Of: e.Count,
+		Experiments: ids, GridPoints: total,
+	}); err != nil {
+		return err
+	}
+	failed := 0
+	for si, s := range specs {
+		st := sts[si]
+		// A grid-enumeration panic produces no per-point slots; the merge
+		// binary re-enumerates the same deterministic grid and reports the
+		// identical failure itself, so nothing needs recording here.
+		if st.enumFailed() {
+			continue
+		}
+		for pi := range st.pts {
+			if !owned[si][pi] {
+				continue
+			}
+			rec := PointRecord{
+				Type: "point", Experiment: s.ID, Index: pi, Points: len(st.pts),
+				WallNS: st.wallNS[pi],
+			}
+			if pm := st.panicAt[pi]; pm != "" {
+				rec.Panic = pm
+				failed++
+			} else {
+				rec.Row = st.rows[pi]
+				rec.Cells = st.cells[pi]
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d point(s) panicked; the failures are recorded in the shard output and will surface at merge", failed)
+	}
+	return nil
+}

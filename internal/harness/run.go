@@ -1,16 +1,8 @@
 package harness
 
-import (
-	"fmt"
-	"strings"
-	"sync"
-	"sync/atomic"
-)
-
-// Run executes the specs' grids on one shared worker pool of at most par
-// goroutines, scheduling at grid-point granularity: every point of every
-// spec is an independent unit of work, so a single slow experiment
-// spreads across the pool instead of pinning one worker. emit is called
+// Run executes the specs' grids on one shared in-process worker pool of
+// at most par goroutines — it is shorthand for the LocalPool executor
+// (see executor.go for the pluggable execution layer). emit is called
 // exactly once per spec, in the order of specs, as soon as each table and
 // all of its predecessors are assembled. Every point owns a private
 // machine and derives its inputs from fixed seeds, so points are
@@ -23,138 +15,7 @@ import (
 // and its first panic message — multiple failures are aggregated, not
 // dropped.
 func Run(specs []*Spec, par int, emit func(*Table)) {
-	if par < 1 {
-		par = 1
-	}
-	if len(specs) == 0 {
-		return
-	}
-
-	type state struct {
-		pts     []Point
-		rows    []Row
-		cells   [][]string
-		pending int64
-		nfail   int64
-		panicAt []string // per point, "" = ok; reported in grid order
-		done    chan struct{}
-	}
-	type job struct{ si, pi int }
-
-	sts := make([]*state, len(specs))
-	var jobs []job
-	for si, s := range specs {
-		st := &state{done: make(chan struct{})}
-		// Grid enumeration runs spec-authored hooks (Dyn axes, Skip), so
-		// a panic there is an experiment failure like any other and must
-		// carry the experiment's ID.
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					st.panicAt = []string{fmt.Sprintf("grid enumeration: %v", r)}
-					st.nfail = 1
-				}
-			}()
-			st.pts = s.Points()
-		}()
-		st.rows = make([]Row, len(st.pts))
-		st.cells = make([][]string, len(st.pts))
-		if st.nfail == 0 {
-			st.panicAt = make([]string, len(st.pts))
-		}
-		st.pending = int64(len(st.pts))
-		sts[si] = st
-		if st.nfail > 0 || len(st.pts) == 0 {
-			close(st.done)
-			continue
-		}
-		for pi := range st.pts {
-			jobs = append(jobs, job{si, pi})
-		}
-	}
-
-	jobCh := make(chan job)
-	go func() {
-		for _, j := range jobs {
-			jobCh <- j
-		}
-		close(jobCh)
-	}()
-
-	workers := par
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				s, st := specs[j.si], sts[j.si]
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							st.panicAt[j.pi] = fmt.Sprint(r)
-							atomic.AddInt64(&st.nfail, 1)
-						}
-						if atomic.AddInt64(&st.pending, -1) == 0 {
-							close(st.done)
-						}
-					}()
-					p := st.pts[j.pi]
-					row := s.Point(p)
-					st.cells[j.pi] = s.cells(p, row)
-					st.rows[j.pi] = row
-				}()
-			}
-		}()
-	}
-
-	var failures []string
-	for si, s := range specs {
-		st := sts[si]
-		<-st.done
-		if nfail := atomic.LoadInt64(&st.nfail); nfail > 0 {
-			var msg string
-			for _, pm := range st.panicAt {
-				if pm != "" {
-					msg = pm // first failed point in grid order: deterministic at any par
-					break
-				}
-			}
-			if nfail > 1 {
-				msg = fmt.Sprintf("%s (and %d more failed points)", msg, nfail-1)
-			}
-			failures = append(failures, fmt.Sprintf("%s: %s", s.ID, msg))
-			continue
-		}
-		if len(failures) > 0 {
-			continue // deterministic prefix only: no emission past a failure
-		}
-		var tbl *Table
-		if perr := func() (msg string) {
-			defer func() {
-				if r := recover(); r != nil {
-					msg = fmt.Sprint(r)
-				}
-			}()
-			tbl = s.assemble(st.rows, st.cells)
-			return ""
-		}(); perr != "" {
-			failures = append(failures, fmt.Sprintf("%s: %s", s.ID, perr))
-			continue
-		}
-		emit(tbl)
-	}
-	wg.Wait()
-	switch len(failures) {
-	case 0:
-	case 1:
-		panic("harness: experiment " + failures[0])
-	default:
-		panic(fmt.Sprintf("harness: %d experiments failed: %s", len(failures), strings.Join(failures, "; ")))
-	}
+	(&LocalPool{Par: par}).Execute(specs, emit)
 }
 
 // RunAll runs every experiment at the given parallelism and returns the

@@ -92,17 +92,18 @@ func TestMemoPointSharesComputation(t *testing.T) {
 }
 
 // TestSelect: comma-separated selection in user order, "all"/empty for
-// the registry, duplicate collapse, and full unknown-ID diagnostics.
+// the registry, duplicate collapse with a warning, and full unknown-ID
+// diagnostics.
 func TestSelect(t *testing.T) {
-	all, err := Select("all")
-	if err != nil || len(all) != len(All()) {
-		t.Fatalf("Select(all) = %d specs, err %v", len(all), err)
+	all, warns, err := Select("all")
+	if err != nil || len(warns) != 0 || len(all) != len(All()) {
+		t.Fatalf("Select(all) = %d specs, warns %v, err %v", len(all), warns, err)
 	}
-	if empty, err := Select(""); err != nil || len(empty) != len(All()) {
-		t.Fatalf("Select(\"\") should select the registry, got %d specs, err %v", len(empty), err)
+	if empty, warns, err := Select(""); err != nil || len(warns) != 0 || len(empty) != len(All()) {
+		t.Fatalf("Select(\"\") should select the registry, got %d specs, warns %v, err %v", len(empty), warns, err)
 	}
 
-	specs, err := Select("EXP-D1, EXP-Q1,EXP-D1")
+	specs, warns, err := Select("EXP-D1, EXP-Q1,EXP-D1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +114,11 @@ func TestSelect(t *testing.T) {
 		}
 		t.Fatalf("Select order/dedup wrong: %v", ids)
 	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "EXP-D1") || !strings.Contains(warns[0], "duplicate") {
+		t.Fatalf("duplicate id must warn, got %v", warns)
+	}
 
-	_, err = Select("EXP-D1,EXP-NOPE,EXP-ALSO-NOPE")
+	_, _, err = Select("EXP-D1,EXP-NOPE,EXP-ALSO-NOPE")
 	if err == nil {
 		t.Fatal("unknown ids accepted")
 	}

@@ -22,6 +22,31 @@ type Table struct {
 	Notes   []string // caveats, deviations, interpretation
 	Columns []string
 	Rows    [][]string
+
+	// WallNS holds each row's grid-point wall-clock in nanoseconds when an
+	// executor ran with timing enabled (nil otherwise — the default, so
+	// recorded goldens stay byte-identical). When set, Render and CSV
+	// append a "wall ms" column and JSON records carry a wall_ns field:
+	// the simulator's own performance rides along with the model cost.
+	WallNS []int64
+}
+
+// timedColumns returns the column headers including the timing column
+// when per-point wall-clock is attached.
+func (t *Table) timedColumns() []string {
+	if t.WallNS == nil {
+		return t.Columns
+	}
+	return append(append([]string(nil), t.Columns...), "wall ms")
+}
+
+// timedRow returns row i's cells including the timing cell when
+// per-point wall-clock is attached.
+func (t *Table) timedRow(i int) []string {
+	if t.WallNS == nil || i >= len(t.WallNS) {
+		return t.Rows[i]
+	}
+	return append(append([]string(nil), t.Rows[i]...), fmtVal(float64(t.WallNS[i])/1e6))
 }
 
 // AddRow appends a row, formatting each value with %v (floats get
@@ -61,12 +86,13 @@ func fmtVal(v interface{}) string {
 func (t *Table) Render(w io.Writer) {
 	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
 	fmt.Fprintf(w, "claim: %s\n", t.Claim)
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
+	cols := t.timedColumns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
 		widths[i] = len(c)
 	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
+	for ri := range t.Rows {
+		for i, cell := range t.timedRow(ri) {
 			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
@@ -79,14 +105,14 @@ func (t *Table) Render(w io.Writer) {
 		}
 		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
 	}
-	line(t.Columns)
-	sep := make([]string, len(t.Columns))
+	line(cols)
+	sep := make([]string, len(cols))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	line(sep)
-	for _, row := range t.Rows {
-		line(row)
+	for ri := range t.Rows {
+		line(t.timedRow(ri))
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
@@ -96,9 +122,9 @@ func (t *Table) Render(w io.Writer) {
 
 // CSV writes the table as comma-separated values (quoted where needed).
 func (t *Table) CSV(w io.Writer) {
-	writeCSVRow(w, t.Columns)
-	for _, row := range t.Rows {
-		writeCSVRow(w, row)
+	writeCSVRow(w, t.timedColumns())
+	for ri := range t.Rows {
+		writeCSVRow(w, t.timedRow(ri))
 	}
 }
 
@@ -116,7 +142,8 @@ func writeCSVRow(w io.Writer, cells []string) {
 // JSON writes the table as JSON Lines: one record per row carrying the
 // experiment identity and the formatted cells (measured and predicted
 // columns included) — the structured form benchmark artifacts are built
-// from.
+// from. With timing attached, each record additionally carries the grid
+// point's wall-clock as wall_ns.
 func (t *Table) JSON(w io.Writer) error {
 	type record struct {
 		Experiment string   `json:"experiment"`
@@ -124,19 +151,30 @@ func (t *Table) JSON(w io.Writer) error {
 		Row        int      `json:"row"`
 		Columns    []string `json:"columns"`
 		Values     []string `json:"values"`
+		WallNS     *int64   `json:"wall_ns,omitempty"`
 	}
 	enc := json.NewEncoder(w)
 	for i, row := range t.Rows {
-		if err := enc.Encode(record{t.ID, t.Title, i, t.Columns, row}); err != nil {
+		rec := record{t.ID, t.Title, i, t.Columns, row, nil}
+		if t.WallNS != nil && i < len(t.WallNS) {
+			rec.WallNS = &t.WallNS[i]
+		}
+		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// ByID returns the spec with the given experiment id.
+// ByID returns the spec with the given experiment id, searching the
+// default registry (All) and then the auxiliary one (Aux).
 func ByID(id string) (*Spec, bool) {
 	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	for _, s := range Aux() {
 		if s.ID == id {
 			return s, true
 		}
@@ -145,20 +183,26 @@ func ByID(id string) (*Spec, bool) {
 }
 
 // Select resolves a comma-separated list of experiment ids into specs, in
-// the order given (duplicates collapse to the first mention). The empty
-// string and "all" select the full registry. Unknown ids produce one
-// error naming every unknown id, so a long selection fails with full
-// diagnostics instead of on the first typo.
-func Select(ids string) ([]*Spec, error) {
+// the order given. The empty string and "all" select the full default
+// registry (auxiliary specs must be named explicitly). Duplicate ids
+// collapse to the first mention and produce one warning each, so a
+// selection like -exp EXP-D1,EXP-D1 does not silently run — or appear to
+// run — a spec twice. Unknown ids produce one error naming every unknown
+// id, so a long selection fails with full diagnostics instead of on the
+// first typo.
+func Select(ids string) (specs []*Spec, warnings []string, err error) {
 	if s := strings.TrimSpace(ids); s == "" || s == "all" {
-		return All(), nil
+		return All(), nil, nil
 	}
-	var specs []*Spec
 	var unknown []string
 	seen := make(map[string]bool)
 	for _, raw := range strings.Split(ids, ",") {
 		id := strings.TrimSpace(raw)
-		if id == "" || seen[id] {
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			warnings = append(warnings, fmt.Sprintf("duplicate experiment id %s ignored", id))
 			continue
 		}
 		seen[id] = true
@@ -170,10 +214,10 @@ func Select(ids string) ([]*Spec, error) {
 		specs = append(specs, s)
 	}
 	if len(unknown) > 0 {
-		return nil, fmt.Errorf("unknown experiment(s) %s (see -list for the index)", strings.Join(unknown, ", "))
+		return nil, warnings, fmt.Errorf("unknown experiment(s) %s (see -list for the index)", strings.Join(unknown, ", "))
 	}
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("no experiments selected")
+		return nil, warnings, fmt.Errorf("no experiments selected")
 	}
-	return specs, nil
+	return specs, warnings, nil
 }
