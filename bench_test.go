@@ -33,6 +33,7 @@ func BenchmarkMergeRuns(b *testing.B) {
 			// taken as a stats delta.
 			ma := aem.New(cfg)
 			runs := makeSortedRuns(ma, n, cfg.MergeFanout())
+			b.ReportAllocs()
 			b.ResetTimer()
 			var cost int64
 			for i := 0; i < b.N; i++ {
@@ -54,6 +55,7 @@ func BenchmarkMergeSort(b *testing.B) {
 	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			in := workload.Keys(workload.NewRNG(1), workload.Random, n)
+			b.ReportAllocs()
 			var cost int64
 			for i := 0; i < b.N; i++ {
 				ma := aem.New(cfg)
@@ -104,6 +106,7 @@ func BenchmarkSortComparison(b *testing.B) {
 	for _, w := range []int{1, 16, 128} {
 		cfg := aem.Config{M: 128, B: 8, Omega: w}
 		b.Run(fmt.Sprintf("aem/omega=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var cost int64
 			for i := 0; i < b.N; i++ {
 				ma := aem.New(cfg)
@@ -113,6 +116,7 @@ func BenchmarkSortComparison(b *testing.B) {
 			b.ReportMetric(float64(cost), "aem-cost")
 		})
 		b.Run(fmt.Sprintf("em/omega=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var cost int64
 			for i := 0; i < b.N; i++ {
 				ma := aem.New(cfg)
@@ -129,6 +133,7 @@ func BenchmarkSampleSort(b *testing.B) {
 	const n = 1 << 14
 	in := workload.Keys(workload.NewRNG(10), workload.Random, n)
 	cfg := aem.Config{M: 128, B: 8, Omega: 16}
+	b.ReportAllocs()
 	var cost int64
 	for i := 0; i < b.N; i++ {
 		ma := aem.New(cfg)
@@ -143,6 +148,7 @@ func BenchmarkHeapSort(b *testing.B) {
 	const n = 1 << 13
 	in := workload.Keys(workload.NewRNG(12), workload.Random, n)
 	cfg := aem.Config{M: 256, B: 8, Omega: 16}
+	b.ReportAllocs()
 	var cost int64
 	for i := 0; i < b.N; i++ {
 		ma := aem.New(cfg)
@@ -157,6 +163,7 @@ func BenchmarkAdaptiveHeapSort(b *testing.B) {
 	const n = 1 << 13
 	in := workload.Keys(workload.NewRNG(12), workload.Random, n)
 	cfg := aem.Config{M: 256, B: 8, Omega: 16}
+	b.ReportAllocs()
 	var cost int64
 	for i := 0; i < b.N; i++ {
 		ma := aem.New(cfg)
@@ -174,6 +181,7 @@ func BenchmarkTraceConversion(b *testing.B) {
 	in := workload.Keys(workload.NewRNG(11), workload.Random, 1<<12)
 	sorting.MergeSort(ma, aem.Load(ma, in))
 	ops := ma.StopTrace()
+	b.ReportAllocs()
 	var factor float64
 	for i := 0; i < b.N; i++ {
 		factor = trace.Convert(ops, cfg).Factor()
@@ -188,6 +196,7 @@ func BenchmarkSmallSort(b *testing.B) {
 		n := w * cfg.M // the largest legal base case
 		b.Run(fmt.Sprintf("omega=%d", w), func(b *testing.B) {
 			in := workload.Keys(workload.NewRNG(3), workload.Random, n)
+			b.ReportAllocs()
 			var st aem.Stats
 			for i := 0; i < b.N; i++ {
 				ma := aem.New(cfg)
@@ -213,6 +222,7 @@ func BenchmarkPermute(b *testing.B) {
 		{"N-regime", aem.Config{M: 32, B: 2, Omega: 512}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cost int64
 			for i := 0; i < b.N; i++ {
 				ma := aem.New(tc.cfg)
@@ -230,6 +240,7 @@ func BenchmarkPermute(b *testing.B) {
 // EXP-P2: the §4.2 counting bound evaluation itself.
 func BenchmarkCountingBound(b *testing.B) {
 	p := bounds.Params{N: 1 << 24, Cfg: aem.Config{M: 1 << 12, B: 64, Omega: 16}}
+	b.ReportAllocs()
 	var r int64
 	for i := 0; i < b.N; i++ {
 		r = bounds.CountingRounds(p)
@@ -245,6 +256,7 @@ func BenchmarkRoundConversion(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var factor float64
 	for i := 0; i < b.N; i++ {
 		rb, err := program.ConvertToRoundBased(p)
@@ -268,6 +280,7 @@ func BenchmarkFlashSimulation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		fp, err := flash.SimulateAEM(rb)
@@ -282,6 +295,7 @@ func BenchmarkFlashSimulation(b *testing.B) {
 // EXP-F2: Corollary 4.4 reduction bound.
 func BenchmarkReductionBound(b *testing.B) {
 	p := bounds.Params{N: 1 << 24, Cfg: aem.Config{M: 1 << 12, B: 64, Omega: 16}}
+	b.ReportAllocs()
 	var v float64
 	for i := 0; i < b.N; i++ {
 		v = bounds.ReductionLowerBound(p)
@@ -312,6 +326,7 @@ func BenchmarkSpMxV(b *testing.B) {
 			{"sort", spmxv.SortBased},
 		} {
 			b.Run(fmt.Sprintf("%s/delta=%d", alg.name, delta), func(b *testing.B) {
+				b.ReportAllocs()
 				var cost int64
 				for i := 0; i < b.N; i++ {
 					ma := aem.New(cfg)
@@ -335,6 +350,7 @@ func BenchmarkSpMxVOmega(b *testing.B) {
 	for _, w := range []int{1, 16, 256} {
 		cfg := aem.Config{M: 128, B: 8, Omega: w}
 		b.Run(fmt.Sprintf("omega=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var cost int64
 			for i := 0; i < b.N; i++ {
 				ma := aem.New(cfg)

@@ -53,6 +53,15 @@ type Machine struct {
 	peak      int
 	sink      TraceSink
 	started   *MemorySink // sink installed by StartTrace, if any
+
+	// Concrete-engine fast paths, resolved by one type switch at
+	// construction so the per-I/O hot path never pays interface dispatch
+	// for the built-in engines. At most one is non-nil; both nil means an
+	// external engine served through the Storage interface.
+	arena    *ArenaStorage
+	counting *CountingStorage
+
+	zeros []Item // lazily built zero block for ScanWrites on data engines
 }
 
 // New returns a fresh machine backed by the reference slice engine. It
@@ -79,9 +88,42 @@ func NewWithStorage(cfg Config, store Storage) *Machine {
 		panic(fmt.Sprintf("aem: NewWithStorage: engine block capacity %d < B = %d", sized.BlockSize(), cfg.B))
 	}
 	ma := &Machine{cfg: cfg, store: store}
+	switch s := store.(type) {
+	case *ArenaStorage:
+		ma.arena = s
+	case *CountingStorage:
+		ma.counting = s
+	}
 	ma.phaseSlot = ma.phases.slot("main")
 	ma.phase = "main"
 	return ma
+}
+
+// Recycle returns the machine to the state NewWithStorage would produce
+// for cfg on the same storage engine: counters, phases, memory metering
+// and any trace sink are cleared and the engine is Reset to zero blocks
+// (retaining its capacity, which is the point — a pooled machine's next
+// run allocates nothing in steady state). cfg may differ from the
+// machine's previous configuration in M and ω freely; like the
+// constructor, Recycle panics on an invalid cfg or an engine whose fixed
+// block capacity is smaller than the new B.
+func (ma *Machine) Recycle(cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if sized, ok := ma.store.(interface{ BlockSize() int }); ok && sized.BlockSize() < cfg.B {
+		panic(fmt.Sprintf("aem: Recycle: engine block capacity %d < B = %d", sized.BlockSize(), cfg.B))
+	}
+	ma.cfg = cfg
+	ma.store.Reset()
+	ma.stats = Stats{}
+	ma.phases = PhaseStats{}
+	ma.phase = "main"
+	ma.phaseSlot = ma.phases.slot("main")
+	ma.inUse = 0
+	ma.peak = 0
+	ma.sink = nil
+	ma.started = nil
 }
 
 // Config returns the machine parameters.
@@ -153,7 +195,7 @@ func (ma *Machine) StopTrace() []TraceOp {
 func (ma *Machine) Tracing() bool { return ma.sink != nil }
 
 // NumBlocks returns the number of blocks currently allocated on disk.
-func (ma *Machine) NumBlocks() int { return ma.store.NumBlocks() }
+func (ma *Machine) NumBlocks() int { return ma.nblocks() }
 
 // Alloc reserves count fresh, empty, contiguous blocks of external memory
 // and returns the address of the first. Allocation itself is free: the
@@ -185,6 +227,12 @@ func (ma *Machine) Read(a Addr) []Item {
 func (ma *Machine) ReadInto(a Addr, dst []Item) []Item {
 	ma.checkAddr(a, "ReadInto")
 	ma.count(OpRead, a)
+	if ma.arena != nil {
+		return ma.arena.ReadInto(a, dst)
+	}
+	if ma.counting != nil {
+		return ma.counting.ReadInto(a, dst)
+	}
 	return ma.store.ReadInto(a, dst)
 }
 
@@ -197,7 +245,104 @@ func (ma *Machine) Write(a Addr, items []Item) {
 		panic(fmt.Sprintf("aem: Write(%d): %d items exceed block size B=%d", a, len(items), ma.cfg.B))
 	}
 	ma.count(OpWrite, a)
+	ma.storeWrite(a, items)
+}
+
+// storeWrite dispatches a storage write through the concrete-engine fast
+// path when one is cached.
+func (ma *Machine) storeWrite(a Addr, items []Item) {
+	if ma.arena != nil {
+		ma.arena.Write(a, items)
+		return
+	}
+	if ma.counting != nil {
+		ma.counting.Write(a, items)
+		return
+	}
 	ma.store.Write(a, items)
+}
+
+// ScanReads performs blocks consecutive read I/Os over the address range
+// [base, base+blocks) as one batched accounting step: the range is
+// validated once and Stats and the current phase slot advance by a single
+// addition instead of one count per block. It is the bulk primitive
+// behind counting-only sweeps, where whole scan phases advance
+// arithmetically rather than block-by-block.
+//
+// ScanReads does not materialize the transferred values — it models a
+// data-oblivious scan whose schedule never branches on block contents
+// (the paper's lower-bound setting: Q = Qr + ω·Qw is all that matters).
+// Programs that inspect values use ReadInto or a Scanner, whose
+// accounting ScanReads matches I/O-for-I/O.
+//
+// With a TraceSink installed the per-op path is taken instead, so
+// recorded traces are byte-identical to an unbatched scan of the same
+// range.
+func (ma *Machine) ScanReads(base Addr, blocks int) {
+	ma.checkRange(base, blocks, "ScanReads")
+	if blocks == 0 {
+		return
+	}
+	if ma.sink != nil {
+		for i := 0; i < blocks; i++ {
+			ma.count(OpRead, base+Addr(i))
+		}
+		return
+	}
+	ma.stats.Reads += int64(blocks)
+	ma.phaseSlot.Reads += int64(blocks)
+}
+
+// ScanWrites performs blocks consecutive write I/Os over the address
+// range [base, base+blocks) as one batched accounting step, modeling a
+// streaming writer that fills every block to B items and the final block
+// to lastLen (1 ≤ lastLen ≤ B) — exactly the schedule a Writer produces
+// appending (blocks−1)·B + lastLen items. The values written are zero
+// items: like ScanReads, the primitive serves data-oblivious programs
+// whose output values are never inspected. Block lengths are recorded so
+// subsequent scans of the range see the same sizes the per-op path would
+// leave.
+//
+// On the counting engine the data plane is a bulk length update; on the
+// data-bearing engines each block is zero-filled through the normal
+// storage write. With a TraceSink installed the accounting takes the
+// per-op path, so recorded traces are byte-identical to the equivalent
+// Writer run.
+func (ma *Machine) ScanWrites(base Addr, blocks int, lastLen int) {
+	ma.checkRange(base, blocks, "ScanWrites")
+	if blocks == 0 {
+		return
+	}
+	if lastLen < 1 || lastLen > ma.cfg.B {
+		panic(fmt.Sprintf("aem: ScanWrites(%d, %d): last block length %d outside [1, B=%d]",
+			base, blocks, lastLen, ma.cfg.B))
+	}
+	if ma.sink != nil {
+		for i := 0; i < blocks; i++ {
+			ma.count(OpWrite, base+Addr(i))
+		}
+	} else {
+		ma.stats.Writes += int64(blocks)
+		ma.phaseSlot.Writes += int64(blocks)
+	}
+	if ma.counting != nil {
+		ma.counting.setLens(base, blocks, int32(ma.cfg.B), int32(lastLen))
+		return
+	}
+	z := ma.zeroBlock()
+	for i := 0; i < blocks-1; i++ {
+		ma.storeWrite(base+Addr(i), z)
+	}
+	ma.storeWrite(base+Addr(blocks-1), z[:lastLen])
+}
+
+// zeroBlock returns a B-item all-zero block, built lazily and reused; it
+// is only ever copied from, never written to.
+func (ma *Machine) zeroBlock() []Item {
+	if len(ma.zeros) < ma.cfg.B {
+		ma.zeros = make([]Item, ma.cfg.B)
+	}
+	return ma.zeros[:ma.cfg.B]
 }
 
 // Peek returns the block's contents without performing (or costing) an I/O.
@@ -213,6 +358,12 @@ func (ma *Machine) Peek(a Addr) []Item {
 // PeekInto is Peek with a caller-owned buffer, mirroring ReadInto.
 func (ma *Machine) PeekInto(a Addr, dst []Item) []Item {
 	ma.checkAddr(a, "PeekInto")
+	if ma.arena != nil {
+		return ma.arena.ReadInto(a, dst)
+	}
+	if ma.counting != nil {
+		return ma.counting.ReadInto(a, dst)
+	}
 	return ma.store.ReadInto(a, dst)
 }
 
@@ -224,7 +375,7 @@ func (ma *Machine) Poke(a Addr, items []Item) {
 	if len(items) > ma.cfg.B {
 		panic(fmt.Sprintf("aem: Poke(%d): %d items exceed block size B=%d", a, len(items), ma.cfg.B))
 	}
-	ma.store.Write(a, items)
+	ma.storeWrite(a, items)
 }
 
 // Reserve meters the allocation of slots items of internal memory. It
@@ -270,8 +421,32 @@ func (ma *Machine) count(kind OpKind, a Addr) {
 	}
 }
 
-func (ma *Machine) checkAddr(a Addr, op string) {
-	if a < 0 || int(a) >= ma.store.NumBlocks() {
-		panic(fmt.Sprintf("aem: %s(%d): address out of range [0,%d)", op, a, ma.store.NumBlocks()))
+// checkRange validates a bulk primitive's address range in one step —
+// the whole point of batching is that this check runs once per phase
+// segment, not once per block.
+func (ma *Machine) checkRange(base Addr, blocks int, op string) {
+	if blocks < 0 {
+		panic(fmt.Sprintf("aem: %s(%d, %d): negative block count", op, base, blocks))
 	}
+	if base < 0 || int(base)+blocks > ma.nblocks() {
+		panic(fmt.Sprintf("aem: %s(%d, %d): range outside [0,%d)", op, base, blocks, ma.nblocks()))
+	}
+}
+
+func (ma *Machine) checkAddr(a Addr, op string) {
+	if a < 0 || int(a) >= ma.nblocks() {
+		panic(fmt.Sprintf("aem: %s(%d): address out of range [0,%d)", op, a, ma.nblocks()))
+	}
+}
+
+// nblocks is NumBlocks through the concrete-engine fast path: the address
+// check runs on every I/O, so it must not pay interface dispatch either.
+func (ma *Machine) nblocks() int {
+	if ma.arena != nil {
+		return len(ma.arena.lens)
+	}
+	if ma.counting != nil {
+		return len(ma.counting.lens)
+	}
+	return ma.store.NumBlocks()
 }

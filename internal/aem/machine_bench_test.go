@@ -121,6 +121,69 @@ func BenchmarkScanner(b *testing.B) {
 	}
 }
 
+// BenchmarkScanReads compares the bulk read-accounting primitive against
+// the per-op loop it batches, per engine. One iteration sweeps the same
+// 4096-block range either block-by-block (ReadInto) or in one ScanReads
+// call; the "ios/op" metric makes the per-I/O cost comparable. On the
+// counting engine the bulk path is the mega-grid's hot loop: a whole
+// pass's accounting collapses to a handful of integer adds.
+func BenchmarkScanReads(b *testing.B) {
+	cfg := benchConfig()
+	const blocks = 1 << 12
+	for _, eng := range benchEngines(cfg) {
+		for _, mode := range []string{"per-op", "bulk"} {
+			b.Run(eng.name+"/"+mode, func(b *testing.B) {
+				ma := NewWithStorage(cfg, eng.make())
+				base := ma.Alloc(blocks)
+				buf := make([]Item, 0, cfg.B)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "bulk" {
+						ma.ScanReads(base, blocks)
+					} else {
+						for j := 0; j < blocks; j++ {
+							buf = ma.ReadInto(base+Addr(j), buf)
+						}
+					}
+				}
+				b.ReportMetric(float64(blocks), "ios/op")
+			})
+		}
+	}
+}
+
+// BenchmarkScanWrites is the write-side counterpart: one iteration emits a
+// 4096-block zero-filled output range either block-by-block (Write) or in
+// one ScanWrites call. Data engines still pay the zero-fill either way —
+// the bulk win there is the batched accounting — while the counting
+// engine's bulk path reduces the sweep to length-table stores.
+func BenchmarkScanWrites(b *testing.B) {
+	cfg := benchConfig()
+	const blocks = 1 << 12
+	for _, eng := range benchEngines(cfg) {
+		for _, mode := range []string{"per-op", "bulk"} {
+			b.Run(eng.name+"/"+mode, func(b *testing.B) {
+				ma := NewWithStorage(cfg, eng.make())
+				base := ma.Alloc(blocks)
+				zero := make([]Item, cfg.B)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "bulk" {
+						ma.ScanWrites(base, blocks, cfg.B)
+					} else {
+						for j := 0; j < blocks; j++ {
+							ma.Write(base+Addr(j), zero)
+						}
+					}
+				}
+				b.ReportMetric(float64(blocks), "ios/op")
+			})
+		}
+	}
+}
+
 // BenchmarkTraceSinks compares trace recording costs per op.
 func BenchmarkTraceSinks(b *testing.B) {
 	cfg := benchConfig()

@@ -36,6 +36,14 @@ type Storage interface {
 	// Write replaces block a's contents with a copy of items; the caller
 	// keeps ownership of the argument slice.
 	Write(a Addr, items []Item)
+
+	// Reset returns the engine to its freshly constructed state — zero
+	// blocks allocated — while retaining its internal capacity, so a
+	// pooled machine's next run allocates nothing in steady state. After
+	// Reset the engine must be indistinguishable from a new one: Alloc
+	// hands out empty blocks and data-bearing engines return zeroed
+	// contents, never a previous run's values.
+	Reset()
 }
 
 // sizedDst returns dst resized to hold n items, allocating only when the
@@ -59,12 +67,13 @@ type SliceStorage struct {
 // NewSliceStorage returns an empty reference engine.
 func NewSliceStorage() *SliceStorage { return &SliceStorage{} }
 
-// Alloc implements Storage.
+// Alloc implements Storage. The single append mirrors the arena engine:
+// one capacity check (and at most one growth) per allocation instead of
+// one per block, and `append(s, make(...)...)` compiles to a grow+clear
+// with no intermediate slice.
 func (s *SliceStorage) Alloc(count int) Addr {
 	base := Addr(len(s.blocks))
-	for i := 0; i < count; i++ {
-		s.blocks = append(s.blocks, nil)
-	}
+	s.blocks = append(s.blocks, make([][]Item, count)...)
 	return base
 }
 
@@ -87,6 +96,13 @@ func (s *SliceStorage) Write(a Addr, items []Item) {
 	blk := make([]Item, len(items))
 	copy(blk, items)
 	s.blocks[a] = blk
+}
+
+// Reset implements Storage. Truncating keeps the block table's capacity;
+// the appended region of a later Alloc is cleared by append's grow+clear,
+// so recycled engines hand out nil blocks exactly like fresh ones.
+func (s *SliceStorage) Reset() {
+	s.blocks = s.blocks[:0]
 }
 
 // ArenaStorage stores every block in one contiguous arena: block a
@@ -147,6 +163,15 @@ func (s *ArenaStorage) Write(a Addr, items []Item) {
 	s.lens[a] = int32(len(items))
 }
 
+// Reset implements Storage. The arena and length table are truncated, not
+// freed: the next run's Allocs re-slice into the retained capacity, and
+// append's grow+clear zeroes the reused region, so a recycled arena is
+// indistinguishable from a fresh one at zero steady-state allocations.
+func (s *ArenaStorage) Reset() {
+	s.data = s.data[:0]
+	s.lens = s.lens[:0]
+}
+
 // CountingStorage moves no data at all: it tracks only per-block lengths,
 // so reads return correctly sized but zeroed blocks. It exists for pure
 // cost-accounting runs — the paper's lower-bound sweeps need Q = Qr + ω·Qw,
@@ -190,4 +215,21 @@ func (s *CountingStorage) ReadInto(a Addr, dst []Item) []Item {
 // Write implements Storage: only the length is recorded.
 func (s *CountingStorage) Write(a Addr, items []Item) {
 	s.lens[a] = int32(len(items))
+}
+
+// Reset implements Storage.
+func (s *CountingStorage) Reset() {
+	s.lens = s.lens[:0]
+}
+
+// setLens records the lengths of a run of sequentially written blocks —
+// every block in [a, a+blocks) holds full items except the last, which
+// holds last — without going through the per-block Write path. It is the
+// counting engine's half of the machine's bulk ScanWrites fast path.
+func (s *CountingStorage) setLens(a Addr, blocks int, full, last int32) {
+	lens := s.lens[a : int(a)+blocks]
+	for i := range lens {
+		lens[i] = full
+	}
+	lens[blocks-1] = last
 }

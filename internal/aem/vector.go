@@ -126,19 +126,34 @@ func (v *Vector) Shrink(n int) *Vector {
 // memory for its current block; call Close to release them. The block
 // frame is allocated once at construction, so scanning performs no
 // allocation per I/O.
+//
+// On the data-free counting engine the scanner takes a fast path: every
+// block's contents are zero items by the engine's contract, so each
+// refill bills the read (trace included) and serves the block from a
+// single pre-zeroed frame instead of re-zeroing B items per block in
+// CountingStorage.ReadInto. Accounting, tracing and returned values are
+// identical to the per-op path; only the wasted clearing is gone.
 type Scanner struct {
 	v      *Vector
-	pos    int    // index of next item to return
-	frame  []Item // owned buffer of capacity B
-	buf    []Item // current block contents (aliases frame)
-	bufLo  int    // index of buf[0] within the vector
+	pos    int              // index of next item to return
+	frame  []Item           // owned buffer of capacity B
+	buf    []Item           // current block contents (aliases frame)
+	bufLo  int              // index of buf[0] within the vector
+	fast   *CountingStorage // non-nil: data-free refills from the static frame
 	closed bool
 }
 
 // NewScanner returns a scanner positioned at the start of v.
 func (v *Vector) NewScanner() *Scanner {
 	v.ma.Reserve(v.ma.cfg.B)
-	return &Scanner{v: v, frame: make([]Item, 0, v.ma.cfg.B), bufLo: -1}
+	s := &Scanner{v: v, bufLo: -1}
+	if v.ma.counting != nil {
+		s.fast = v.ma.counting
+		s.frame = make([]Item, v.ma.cfg.B) // all-zero; only ever read from
+	} else {
+		s.frame = make([]Item, 0, v.ma.cfg.B)
+	}
+	return s
 }
 
 // Next returns the next item. ok is false when the vector is exhausted.
@@ -147,11 +162,24 @@ func (s *Scanner) Next() (item Item, ok bool) {
 		return Item{}, false
 	}
 	if s.bufLo < 0 || s.pos >= s.bufLo+len(s.buf) {
-		s.buf, s.bufLo = s.v.ReadBlockInto(s.pos, s.frame)
+		s.refill()
 	}
 	item = s.buf[s.pos-s.bufLo]
 	s.pos++
 	return item, true
+}
+
+// refill advances the block frame to the block holding s.pos, costing one
+// read I/O.
+func (s *Scanner) refill() {
+	if s.fast != nil {
+		a := s.v.BlockAddr(s.pos)
+		s.v.ma.count(OpRead, a)
+		s.buf = s.frame[:s.fast.Len(a)]
+		s.bufLo = int(a-s.v.base) * s.v.ma.cfg.B
+		return
+	}
+	s.buf, s.bufLo = s.v.ReadBlockInto(s.pos, s.frame)
 }
 
 // Peek returns the next item without consuming it.
@@ -179,18 +207,32 @@ func (s *Scanner) Close() {
 // Writer appends items to a vector sequentially, buffering one block in
 // internal memory and writing each block exactly once when it fills (or on
 // Close). It reserves B slots of internal memory.
+//
+// On the data-free counting engine the writer takes a fast path: item
+// values are discarded (the engine would drop them anyway), so Append is a
+// pair of counter increments and each flush records the block's length
+// directly instead of copying a buffer nobody reads. Accounting, tracing
+// and recorded block lengths are identical to the per-op path.
 type Writer struct {
-	v      *Vector
-	pos    int // number of items appended so far
-	buf    []Item
-	closed bool
+	v       *Vector
+	pos     int              // number of items appended so far
+	flushed int              // number of items already flushed to external memory
+	buf     []Item           // buffered items [flushed, pos); nil on the fast path
+	fast    *CountingStorage // non-nil: value-free buffering
+	closed  bool
 }
 
 // NewWriter returns a writer positioned at the start of v. The caller must
 // append exactly v.Len() items before Close.
 func (v *Vector) NewWriter() *Writer {
 	v.ma.Reserve(v.ma.cfg.B)
-	return &Writer{v: v, buf: make([]Item, 0, v.ma.cfg.B)}
+	w := &Writer{v: v}
+	if v.ma.counting != nil {
+		w.fast = v.ma.counting
+	} else {
+		w.buf = make([]Item, 0, v.ma.cfg.B)
+	}
+	return w
 }
 
 // Append buffers one item, flushing a full block to external memory (one
@@ -199,9 +241,11 @@ func (w *Writer) Append(item Item) {
 	if w.pos >= w.v.n {
 		panic(fmt.Sprintf("aem: Writer overflow: vector length %d", w.v.n))
 	}
-	w.buf = append(w.buf, item)
+	if w.fast == nil {
+		w.buf = append(w.buf, item)
+	}
 	w.pos++
-	if len(w.buf) == w.v.ma.cfg.B {
+	if w.pos-w.flushed == w.v.ma.cfg.B {
 		w.flush()
 	}
 }
@@ -210,12 +254,20 @@ func (w *Writer) Append(item Item) {
 func (w *Writer) Written() int { return w.pos }
 
 func (w *Writer) flush() {
-	if len(w.buf) == 0 {
+	n := w.pos - w.flushed
+	if n == 0 {
 		return
 	}
-	blockIdx := (w.pos - len(w.buf)) / w.v.ma.cfg.B
-	w.v.ma.Write(w.v.base+Addr(blockIdx), w.buf)
-	w.buf = w.buf[:0]
+	ma := w.v.ma
+	a := w.v.base + Addr(w.flushed/ma.cfg.B)
+	if w.fast != nil {
+		ma.count(OpWrite, a)
+		w.fast.setLens(a, 1, int32(n), int32(n))
+	} else {
+		ma.Write(a, w.buf)
+		w.buf = w.buf[:0]
+	}
+	w.flushed = w.pos
 }
 
 // Close flushes any partial final block and releases the writer's internal

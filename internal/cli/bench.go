@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func benchCmd(prog string, args []string) int {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		par     = fs.Int("par", runtime.NumCPU(), "number of grid points to run concurrently")
 	)
+	startProfiles := profileFlags(fs)
 	fs.Parse(args)
 
 	if *list {
@@ -90,6 +92,12 @@ func benchCmd(prog string, args []string) int {
 		}
 	}
 
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fail(prog, "%v", err)
+		return 2
+	}
+
 	ex := &harness.LocalPool{Par: *par, Timing: *timing}
 	var firstErr error
 	ex.Execute(specs, func(tbl *harness.Table) {
@@ -100,17 +108,41 @@ func benchCmd(prog string, args []string) int {
 		} else {
 			tbl.Render(os.Stdout)
 		}
+		emitThroughput(tbl, *jsonOut, &firstErr)
 		if *csvDir != "" && firstErr == nil {
 			if err := writeCSVAtomic(*csvDir, tbl); err != nil {
 				firstErr = err
 			}
 		}
 	})
+	if err := stopProfiles(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if firstErr != nil {
 		fail(prog, "%v", firstErr)
 		return 1
 	}
 	return 0
+}
+
+// emitThroughput appends a table's derived points/sec summary — one JSON
+// record in -json mode, one text line otherwise. Untimed tables produce
+// nothing, so output without -timing is byte-identical to previous
+// releases and the recorded goldens.
+func emitThroughput(tbl *harness.Table, jsonOut bool, firstErr *error) {
+	tp := harness.ThroughputOf(tbl)
+	if tp == nil {
+		return
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(tp); err != nil && *firstErr == nil {
+			*firstErr = err
+		}
+		return
+	}
+	fmt.Printf("  throughput: %d points in %.1f ms — %.1f points/sec (%.3f ms/point)\n\n",
+		tp.Points, float64(tp.WallNS)/1e6, tp.PointsPerSec, tp.NSPerPoint/1e6)
 }
 
 // parseShard parses an i/m shard designator. Parsing is strict — exactly

@@ -87,6 +87,29 @@ func TestBenchCmdUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestBenchCmdWritesProfiles: -cpuprofile/-memprofile must leave
+// non-empty pprof files behind — the recorded starting point for future
+// hot-path work.
+func TestBenchCmdWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	captureStdout(t, func() {
+		if code := benchCmd("aem bench", []string{"-exp", "EXP-B1", "-cpuprofile", cpu, "-memprofile", mem}); code != 0 {
+			t.Errorf("exit code %d", code)
+		}
+	})
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
 // TestDeprecatedWrappersCoverEverySubcommand: each historical binary name
 // resolves to a live subcommand.
 func TestDeprecatedWrappersCoverEverySubcommand(t *testing.T) {

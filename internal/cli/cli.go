@@ -1,6 +1,6 @@
-// Package cli implements the aem multitool: one binary, six subcommands
-// (bench, merge, dict, sort, spmxv, trace) sharing flag parsing, machine
-// validation and output plumbing. The historical standalone binaries
+// Package cli implements the aem multitool: one binary, seven subcommands
+// (bench, merge, gate, dict, sort, spmxv, trace) sharing flag parsing,
+// machine validation and output plumbing. The historical standalone binaries
 // (aembench, aemdict, …) are thin deprecated wrappers over the same
 // implementations via RunDeprecated.
 package cli
@@ -26,6 +26,7 @@ func Commands() []Command {
 	return []Command{
 		{"bench", "run the experiment registry: rendered tables, per-experiment CSV, JSON records", benchCmd},
 		{"merge", "reassemble `aem bench -shard` point records into the unsharded tables", mergeCmd},
+		{"gate", "compare a timed bench run's points/sec against a committed baseline", gateCmd},
 		{"dict", "drive a dictionary op stream: buffer tree vs B-tree vs bounds", dictCmd},
 		{"sort", "sort a generated workload and compare against the paper's bounds", sortCmd},
 		{"spmxv", "sparse matrix × dense vector with both Section 5 algorithms", spmxvCmd},

@@ -1,0 +1,190 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+)
+
+// gateCmd is the throughput regression gate: it derives per-experiment
+// ns/point from the wall_ns fields of an `aem bench -json -timing` run
+// and compares against a committed baseline, failing only on pathological
+// slowdowns. The tolerance is deliberately generous (default 3×): the
+// gate exists to catch an accidentally re-boxed hot path or a quadratic
+// regression, not to flake on a noisy CI machine.
+//
+//	aem bench -json -timing -exp EXP-MG1 > BENCH.json
+//	aem gate -bench BENCH.json -baseline testdata/throughput_baseline.json
+//	aem gate -bench BENCH.json -baseline ... -write-baseline   (re-pin)
+//
+// Experiments measured but missing from the baseline are reported and
+// skipped (adding an experiment must not insta-fail CI); re-pin the
+// baseline to start tracking them. Experiments in the baseline but not
+// measured are ignored — the gate judges what ran.
+func gateCmd(prog string, args []string) int {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	var (
+		benchPath = fs.String("bench", "", "JSON Lines file from `aem bench -json -timing` ('-' or empty for stdin)")
+		basePath  = fs.String("baseline", "", "committed baseline JSON to compare against (required)")
+		tol       = fs.Float64("tol", 3.0, "maximum tolerated ns/point slowdown factor vs the baseline")
+		write     = fs.Bool("write-baseline", false, "write the measured summaries to -baseline instead of comparing")
+	)
+	fs.Parse(args)
+	if *basePath == "" {
+		fail(prog, "-baseline is required")
+		return 2
+	}
+	if *tol <= 0 {
+		fail(prog, "-tol must be positive, got %v", *tol)
+		return 2
+	}
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "" && *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, order, err := readBenchTimings(in)
+	if err != nil {
+		fail(prog, "%v", err)
+		return 1
+	}
+	if len(order) == 0 {
+		fail(prog, "no timed records in the bench input — was it produced with -json -timing?")
+		return 1
+	}
+
+	if *write {
+		if err := writeBaseline(*basePath, measured, order); err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+		fmt.Printf("baseline written: %s (%d experiments)\n", *basePath, len(order))
+		return 0
+	}
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fail(prog, "%v", err)
+		return 1
+	}
+	failures := 0
+	for _, id := range order {
+		m := measured[id]
+		b, ok := base.Experiments[id]
+		if !ok || b.NSPerPoint <= 0 {
+			fmt.Printf("%-10s %8.3f ms/point (%d points) — no baseline, skipped (re-pin with -write-baseline)\n",
+				id, m.NSPerPoint/1e6, m.Points)
+			continue
+		}
+		ratio := m.NSPerPoint / b.NSPerPoint
+		verdict := "ok"
+		if ratio > *tol {
+			verdict = fmt.Sprintf("FAIL (> %gx tolerance)", *tol)
+			failures++
+		}
+		fmt.Printf("%-10s %8.3f ms/point vs baseline %8.3f ms/point — %.2fx %s\n",
+			id, m.NSPerPoint/1e6, b.NSPerPoint/1e6, ratio, verdict)
+	}
+	if failures > 0 {
+		fail(prog, "%d experiment(s) exceeded the %gx throughput tolerance", failures, *tol)
+		return 1
+	}
+	return 0
+}
+
+// throughputBaseline is the committed reference the gate compares against.
+type throughputBaseline struct {
+	Note        string                        `json:"note,omitempty"`
+	Experiments map[string]harness.Throughput `json:"experiments"`
+}
+
+// readBenchTimings aggregates the wall_ns fields of a bench/merge JSON
+// Lines stream into per-experiment summaries, preserving first-seen
+// order. Row records without wall_ns and the stream's own throughput
+// summary records are skipped: the gate re-derives from the raw points,
+// so it works on any timed stream regardless of which records survived
+// ad-hoc filtering.
+func readBenchTimings(r io.Reader) (map[string]*harness.Throughput, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	out := map[string]*harness.Throughput{}
+	var order []string
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec struct {
+			Type       string `json:"type"`
+			Experiment string `json:"experiment"`
+			WallNS     *int64 `json:"wall_ns"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, nil, fmt.Errorf("bench input line %d: %v", line, err)
+		}
+		if rec.Type != "" || rec.Experiment == "" || rec.WallNS == nil {
+			continue
+		}
+		tp, ok := out[rec.Experiment]
+		if !ok {
+			tp = &harness.Throughput{Type: "throughput", Experiment: rec.Experiment}
+			out[rec.Experiment] = tp
+			order = append(order, rec.Experiment)
+		}
+		tp.Points++
+		tp.WallNS += *rec.WallNS
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	for _, tp := range out {
+		tp.NSPerPoint = float64(tp.WallNS) / float64(tp.Points)
+		if tp.WallNS > 0 {
+			tp.PointsPerSec = float64(tp.Points) / (float64(tp.WallNS) / 1e9)
+		}
+	}
+	return out, order, nil
+}
+
+func readBaseline(path string) (*throughputBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base throughputBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(base.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: baseline holds no experiments", path)
+	}
+	return &base, nil
+}
+
+func writeBaseline(path string, measured map[string]*harness.Throughput, order []string) error {
+	base := throughputBaseline{
+		Note:        "ns/point reference for `aem gate`; re-pin with `aem gate -write-baseline` after intentional perf changes",
+		Experiments: map[string]harness.Throughput{},
+	}
+	for _, id := range order {
+		base.Experiments[id] = *measured[id]
+	}
+	raw, err := json.MarshalIndent(&base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,138 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchLines fabricates a timed `aem bench -json -timing` stream: rows
+// for two experiments with known wall_ns, plus a throughput summary
+// record the gate must ignore (it re-derives from the raw points).
+func benchLines(fastNS, slowNS int64) string {
+	var b strings.Builder
+	for i := 0; i < 4; i++ {
+		b.WriteString(`{"experiment":"EXP-A","title":"t","row":` + itoa(i) + `,"columns":["x"],"values":["1"],"wall_ns":` + i64toa(fastNS) + "}\n")
+	}
+	for i := 0; i < 2; i++ {
+		b.WriteString(`{"experiment":"EXP-B","title":"t","row":` + itoa(i) + `,"columns":["x"],"values":["1"],"wall_ns":` + i64toa(slowNS) + "}\n")
+	}
+	b.WriteString(`{"type":"throughput","experiment":"EXP-A","points":4,"wall_ns":1,"ns_per_point":0.25,"points_per_sec":4e9}` + "\n")
+	return b.String()
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+func i64toa(n int64) string {
+	raw, _ := json.Marshal(n)
+	return string(raw)
+}
+
+// gateRun writes the given bench stream and baseline args to temp files
+// and runs the gate, returning exit code and stdout.
+func gateRun(t *testing.T, bench string, args ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(bp, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := captureStdout(t, func() {
+		code = gateCmd("aem gate", append([]string{"-bench", bp}, args...))
+	})
+	return code, string(out)
+}
+
+// TestGateWriteThenPass: pinning a baseline from a run and gating the
+// same run must pass with ratio 1.00 for every experiment.
+func TestGateWriteThenPass(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	stream := benchLines(1_000_000, 4_000_000)
+
+	code, out := gateRun(t, stream, "-baseline", base, "-write-baseline")
+	if code != 0 {
+		t.Fatalf("write-baseline exit %d\n%s", code, out)
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pinned throughputBaseline
+	if err := json.Unmarshal(raw, &pinned); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if got := pinned.Experiments["EXP-A"].NSPerPoint; got != 1_000_000 {
+		t.Errorf("pinned EXP-A ns/point = %v, want 1e6 (summary record must not skew aggregation)", got)
+	}
+	if got := pinned.Experiments["EXP-B"].Points; got != 2 {
+		t.Errorf("pinned EXP-B points = %d, want 2", got)
+	}
+
+	code, out = gateRun(t, stream, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("self-gate exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "1.00x ok") {
+		t.Errorf("self-gate output lacks a 1.00x ok verdict:\n%s", out)
+	}
+}
+
+// TestGateFailsOnPathologicalSlowdown: a >tol slowdown on one experiment
+// must fail the gate and name it; within-tolerance noise must not.
+func TestGateFailsOnPathologicalSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	if code, out := gateRun(t, benchLines(1_000_000, 1_000_000), "-baseline", base, "-write-baseline"); code != 0 {
+		t.Fatalf("write-baseline exit %d\n%s", code, out)
+	}
+
+	// 2x slower: within the default 3x tolerance.
+	if code, out := gateRun(t, benchLines(2_000_000, 2_000_000), "-baseline", base); code != 0 {
+		t.Fatalf("2x slowdown failed the 3x gate\n%s", out)
+	}
+	// 4x slower on EXP-B only: pathological, must fail.
+	code, out := gateRun(t, benchLines(1_000_000, 4_000_000), "-baseline", base)
+	if code != 1 {
+		t.Fatalf("4x slowdown exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "EXP-B") || !strings.Contains(out, "FAIL") {
+		t.Errorf("failure output does not name the regressed experiment:\n%s", out)
+	}
+	// Tightening the tolerance flips the verdict for the 2x case.
+	if code, _ := gateRun(t, benchLines(2_000_000, 2_000_000), "-baseline", base, "-tol", "1.5"); code != 1 {
+		t.Error("2x slowdown passed a 1.5x tolerance")
+	}
+}
+
+// TestGateSkipsUnknownExperiments: measurements missing from the baseline
+// are reported but never fail the gate — adding an experiment must not
+// break CI until the baseline is re-pinned.
+func TestGateSkipsUnknownExperiments(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(base, []byte(`{"experiments":{"EXP-A":{"experiment":"EXP-A","points":4,"wall_ns":4000000,"ns_per_point":1000000,"points_per_sec":1000}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := gateRun(t, benchLines(1_000_000, 50_000_000), "-baseline", base)
+	if code != 0 {
+		t.Fatalf("unknown experiment failed the gate (exit %d)\n%s", code, out)
+	}
+	if !strings.Contains(out, "EXP-B") || !strings.Contains(out, "no baseline") {
+		t.Errorf("skipped experiment not reported:\n%s", out)
+	}
+}
+
+// TestGateRejectsUntimedInput: a bench stream without wall_ns fields (run
+// without -timing) must produce a clear error, not a silent pass.
+func TestGateRejectsUntimedInput(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	untimed := `{"experiment":"EXP-A","title":"t","row":0,"columns":["x"],"values":["1"]}` + "\n"
+	code, _ := gateRun(t, untimed, "-baseline", base)
+	if code != 1 {
+		t.Fatalf("untimed input exit %d, want 1", code)
+	}
+}

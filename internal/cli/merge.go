@@ -79,6 +79,7 @@ func mergeCmd(prog string, args []string) int {
 		} else {
 			tbl.Render(os.Stdout)
 		}
+		emitThroughput(tbl, *jsonOut, &firstErr)
 		if *csvDir != "" && firstErr == nil {
 			if err := writeCSVAtomic(*csvDir, tbl); err != nil {
 				firstErr = err

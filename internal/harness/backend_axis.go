@@ -24,7 +24,7 @@ import (
 // so the default `aem bench` output and its recorded goldens are
 // unaffected by their presence.
 func Aux() []*Spec {
-	return []*Spec{specBE1(), specBE2()}
+	return []*Spec{specBE1(), specBE2(), specMG1()}
 }
 
 // backendNames spans the storage-backend axis.
@@ -45,8 +45,12 @@ func backendMachine(cfg aem.Config, name string) *aem.Machine {
 
 // backendRow runs fn on the named backend and returns the standard
 // backend-sweep row: identity, I/O counts, cost, memory peak and blocks.
+// Machines come from the per-point pool: Recycle's
+// indistinguishable-from-fresh contract keeps rows independent of pool
+// hits, so pooling changes allocation pressure, never cells.
 func backendRow(cfg aem.Config, alg, backend string, fn func(ma *aem.Machine)) Row {
-	ma := backendMachine(cfg, backend)
+	ma, release := PooledMachine(cfg, backend)
+	defer release()
 	fn(ma)
 	st := ma.Stats()
 	return Row{alg, backend, st.Reads, st.Writes, ma.Cost(), ma.MemPeak(), ma.NumBlocks()}

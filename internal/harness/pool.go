@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/aem"
+)
+
+// This file is the grid's machine recycler. Every grid point owns a
+// private machine, which is what makes points embarrassingly parallel —
+// but constructing one per point means every point pays allocation (and
+// the whole sweep pays GC) for arenas and length tables the previous
+// point just dropped. The pool keeps finished machines around, keyed by
+// what cannot be recycled away — the engine kind and its fixed block
+// stride — and hands them back through aem.Machine.Recycle, whose
+// contract (pinned by the aem conformance suite) is that a recycled
+// machine is indistinguishable from a fresh one. Pool hits therefore
+// change allocation counts, never results, and the scheduler's
+// byte-identical-at-any-par guarantee survives pooling untouched.
+
+// poolKey identifies one machine pool. The arena's stride is fixed at
+// construction, so B is part of the key; M and ω recycle freely.
+type poolKey struct {
+	backend string
+	b       int
+}
+
+var machinePools sync.Map // poolKey → *sync.Pool of *aem.Machine
+
+// PooledMachine returns a machine for cfg on the named backend — recycled
+// from the per-{backend, B} pool when one is available, freshly
+// constructed otherwise — together with a release function returning it
+// for reuse. Call release only once the machine's storage is no longer
+// read: the next point will Reset it.
+func PooledMachine(cfg aem.Config, backend string) (ma *aem.Machine, release func()) {
+	key := poolKey{backend: backend, b: cfg.B}
+	entry, ok := machinePools.Load(key)
+	if !ok {
+		entry, _ = machinePools.LoadOrStore(key, &sync.Pool{})
+	}
+	pool := entry.(*sync.Pool)
+	if got, ok := pool.Get().(*aem.Machine); ok {
+		got.Recycle(cfg)
+		ma = got
+	} else {
+		ma = backendMachine(cfg, backend)
+	}
+	return ma, func() { pool.Put(ma) }
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aem"
+	"repro/internal/rng"
+)
+
+// poolWorkload is a small data-bearing point: load, scan, write back,
+// returning the accounting row a spec would.
+func poolWorkload(ma *aem.Machine, n int) Row {
+	items := make([]aem.Item, n)
+	for i := range items {
+		items[i] = aem.Item{Key: int64(n - i), Aux: int64(i)}
+	}
+	v := aem.Load(ma, items)
+	out := aem.NewVector(ma, n)
+	sc := v.NewScanner()
+	w := out.NewWriter()
+	for {
+		it, ok := sc.Next()
+		if !ok {
+			break
+		}
+		w.Append(it)
+	}
+	sc.Close()
+	w.Close()
+	st := ma.Stats()
+	return Row{st.Reads, st.Writes, ma.Cost(), ma.MemPeak(), ma.NumBlocks()}
+}
+
+// TestPooledMachineMatchesFresh runs the same workload on pooled and
+// freshly constructed machines, interleaved so pool hits actually occur,
+// and demands identical rows: pooling must be invisible in every cell.
+func TestPooledMachineMatchesFresh(t *testing.T) {
+	for _, backend := range []string{"slice", "arena", "counting"} {
+		t.Run(backend, func(t *testing.T) {
+			for round := 0; round < 4; round++ {
+				cfg := aem.Config{M: 64, B: 8, Omega: 1 + round}
+				n := 100 + 17*round
+				ma, release := PooledMachine(cfg, backend)
+				got := poolWorkload(ma, n)
+				release()
+				want := poolWorkload(backendMachine(cfg, backend), n)
+				for c := range want {
+					if got[c] != want[c] {
+						t.Fatalf("round %d cell %d: pooled %v, fresh %v", round, c, got[c], want[c])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPooledMachineRejectsOversizedB pins the stride guard through the
+// pool: an arena pooled at B=8 must never be recycled into a B=16 point —
+// the pool key includes B precisely so this cannot happen, and a fresh
+// request at the larger B constructs a matching engine instead.
+func TestPooledMachineRejectsOversizedB(t *testing.T) {
+	small := aem.Config{M: 64, B: 8, Omega: 1}
+	ma, release := PooledMachine(small, "arena")
+	release()
+	big := aem.Config{M: 64, B: 16, Omega: 1}
+	ma2, release2 := PooledMachine(big, "arena")
+	defer release2()
+	if ma2 == ma {
+		t.Fatal("pool returned a B=8 arena for a B=16 point")
+	}
+	if ma2.Config().B != 16 {
+		t.Fatalf("pooled machine has B=%d, want 16", ma2.Config().B)
+	}
+}
+
+// TestRunPooledParByteIdentity extends the scheduler's byte-identity
+// property test to pooled machines: a grid whose points draw from the
+// pool — data-bearing and counting backends, bulk and per-op paths —
+// must emit identical bytes at every parallelism level, even though pool
+// hit patterns differ per run and per worker count.
+func TestRunPooledParByteIdentity(t *testing.T) {
+	mkSpec := func() *Spec {
+		return &Spec{
+			ID:    "POOLGRID",
+			Title: "pooled machines across backends",
+			Axes: []Axis{
+				{Name: "backend", Values: backendNames},
+				{Name: "omega", Values: Ints(1, 4, 9)},
+				{Name: "n", Values: Ints(64, 100, 200)},
+			},
+			Columns: Cols("backend", "omega", "n", "reads", "writes", "cost", "mem peak", "blocks"),
+			Point: func(p Point) Row {
+				cfg := aem.Config{M: 64, B: 8, Omega: p.Int("omega")}
+				ma, release := PooledMachine(cfg, p.Str("backend"))
+				defer release()
+				row := poolWorkload(ma, p.Int("n"))
+				return append(Row{p.Str("backend"), p.Int("omega"), p.Int("n")}, row...)
+			},
+		}
+	}
+	want, failure := runQuiet([]*Spec{mkSpec()}, 1)
+	if failure != "" {
+		t.Fatalf("serial pooled run failed: %s", failure)
+	}
+	r := rng.New(7)
+	for trial := 0; trial < 8; trial++ {
+		par := 2 + int(r.Intn(15))
+		got, failure := runQuiet([]*Spec{mkSpec()}, par)
+		if failure != "" {
+			t.Fatalf("par=%d pooled run failed: %s", par, failure)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("par=%d: pooled output differs from par=1", par)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package harness
+
+// Throughput is one experiment's points/sec summary, derived from the
+// per-point wall_ns records a timed run already carries. It is the
+// simulator's own speed made a tracked product: `aem bench -timing -json`
+// appends one throughput record per table to the JSON Lines stream, and
+// `aem gate` compares the derived ns/point against a committed baseline.
+type Throughput struct {
+	Type         string  `json:"type"` // "throughput"
+	Experiment   string  `json:"experiment"`
+	Points       int     `json:"points"`
+	WallNS       int64   `json:"wall_ns"`
+	NSPerPoint   float64 `json:"ns_per_point"`
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// ThroughputOf derives the summary from a timed table. It returns nil for
+// an untimed or empty table — throughput is only defined where wall-clock
+// was measured.
+func ThroughputOf(t *Table) *Throughput {
+	if t.WallNS == nil || len(t.WallNS) == 0 {
+		return nil
+	}
+	var total int64
+	for _, ns := range t.WallNS {
+		total += ns
+	}
+	n := len(t.WallNS)
+	tp := &Throughput{
+		Type:       "throughput",
+		Experiment: t.ID,
+		Points:     n,
+		WallNS:     total,
+		NSPerPoint: float64(total) / float64(n),
+	}
+	if total > 0 {
+		tp.PointsPerSec = float64(n) / (float64(total) / 1e9)
+	}
+	return tp
+}
