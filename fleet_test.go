@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/harness"
+)
+
+// TestFleetKillGolden is the elastic executor's acceptance test: a
+// coordinator serving the full experiment registry, three worker loops
+// leasing from it over real HTTP, one worker killed mid-run. The
+// survivors absorb the dead worker's points through lease expiry and
+// speculative re-execution, and the merged fleet output must reproduce
+// both committed goldens byte-for-byte — elasticity, worker death and
+// duplicate discard included, the fleet is not allowed to change a
+// single output byte relative to a single-machine `aem bench`.
+func TestFleetKillGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry across a local fleet")
+	}
+
+	var out bytes.Buffer
+	c, err := fleet.New(fleet.Config{
+		Specs:    harness.All(),
+		Out:      &out,
+		Chunk:    4,
+		LeaseTTL: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	victimCtx, kill := context.WithCancel(ctx)
+	defer kill()
+	errs := make(chan error, 3)
+	for _, w := range []struct {
+		name string
+		ctx  context.Context
+	}{{"w1", ctx}, {"w2", ctx}, {"victim", victimCtx}} {
+		w := w
+		go func() {
+			errs <- fleet.Work(w.ctx, fleet.WorkerConfig{URL: srv.URL, Par: 4, Name: w.name})
+		}()
+	}
+	// Kill the victim once the run is demonstrably mid-flight, so its
+	// leased points really are orphaned and must be re-run elsewhere.
+	go func() {
+		for {
+			if filled, total := c.Progress(); filled > total/20 && filled < total {
+				kill()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	select {
+	case <-c.Done():
+	case <-c.Fatal():
+		t.Fatalf("coordinator output failed: %v", c.Flush())
+	case <-time.After(3 * time.Minute):
+		t.Fatal("fleet never completed after the worker kill")
+	}
+	killed := 0
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, context.Canceled) {
+				killed++
+			} else if err != nil {
+				t.Fatalf("worker failed: %v", err)
+			}
+		case <-time.After(time.Minute):
+			t.Fatal("worker did not exit after completion")
+		}
+	}
+	if killed > 1 {
+		t.Fatalf("%d workers died, only the victim was cancelled", killed)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := harness.ReadShardFile(&out)
+	if err != nil {
+		t.Fatalf("fleet output is not a shard stream: %v", err)
+	}
+	var text, jsonOut bytes.Buffer
+	if err := harness.MergeShards(harness.All(), []*harness.ShardFile{sf}, false, func(tbl *harness.Table) {
+		tbl.Render(&text)
+		if jerr := tbl.JSON(&jsonOut); jerr != nil {
+			t.Fatalf("JSON render: %v", jerr)
+		}
+	}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	want, err := os.ReadFile(filepath.Join("testdata", "aembench.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text.Bytes(), want) {
+		t.Errorf("fleet output diverged from testdata/aembench.golden\n%s", diffHint(want, text.Bytes()))
+	}
+	wantJSON, err := os.ReadFile(filepath.Join("testdata", "aembench_json.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonOut.Bytes(), wantJSON) {
+		t.Errorf("fleet -json output diverged from testdata/aembench_json.golden\n%s", diffHint(wantJSON, jsonOut.Bytes()))
+	}
+}

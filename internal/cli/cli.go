@@ -1,8 +1,8 @@
-// Package cli implements the aem multitool: one binary, seven subcommands
-// (bench, merge, gate, dict, sort, spmxv, trace) sharing flag parsing,
-// machine validation and output plumbing. The historical standalone binaries
-// (aembench, aemdict, …) are thin deprecated wrappers over the same
-// implementations via RunDeprecated.
+// Package cli implements the aem multitool: one binary, nine subcommands
+// (bench, merge, serve, work, gate, dict, sort, spmxv, trace) sharing
+// flag parsing, machine validation and output plumbing. The historical
+// standalone binaries (aembench, aemdict, …) are thin deprecated wrappers
+// over the same implementations via RunDeprecated.
 package cli
 
 import (
@@ -25,7 +25,9 @@ type Command struct {
 func Commands() []Command {
 	return []Command{
 		{"bench", "run the experiment registry: rendered tables, per-experiment CSV, JSON records", benchCmd},
-		{"merge", "reassemble `aem bench -shard` point records into the unsharded tables", mergeCmd},
+		{"merge", "reassemble shard/fleet point records into the unsharded tables", mergeCmd},
+		{"serve", "coordinate an elastic fleet: lease grid points to `aem work` workers over HTTP", serveCmd},
+		{"work", "run grid points for an `aem serve` coordinator, or finish a residual spec", workCmd},
 		{"gate", "compare a timed bench run's points/sec against a committed baseline", gateCmd},
 		{"dict", "drive a dictionary op stream: buffer tree vs B-tree vs bounds", dictCmd},
 		{"sort", "sort a generated workload and compare against the paper's bounds", sortCmd},

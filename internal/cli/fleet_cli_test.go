@@ -1,0 +1,113 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resumeSel is a cheap three-experiment selection — the resume test runs
+// it four times (two shards, the residual, the reference), so it must
+// stay in the millisecond range.
+const resumeSel = "EXP-B1,EXP-R1,EXP-F1"
+
+// chop drops the last n lines of a JSON Lines stream — the shape of an
+// interrupted shard or fleet run: intact manifest, missing tail records.
+func chop(t *testing.T, b []byte, n int) []byte {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) <= n+1 { // keep the manifest and at least one record
+		t.Fatalf("stream has only %d lines, cannot drop %d", len(lines), n)
+	}
+	return []byte(strings.Join(lines[:len(lines)-n], "\n") + "\n")
+}
+
+// TestMergeResidualResumeCLI is the one-command resume path end to end
+// at the CLI layer: an interrupted run's partial outputs fail to merge
+// but write a residual spec, `aem work -residual` runs exactly the
+// missing points, and merging the partials plus the residual stream is
+// byte-identical to an uninterrupted `aem bench` of the same selection.
+func TestMergeResidualResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+
+	shard := func(i int) []byte {
+		code := -1
+		out := captureStdout(t, func() {
+			code = benchCmd("aem bench", []string{"-shard", fmt.Sprintf("%d/2", i), "-json", "-exp", resumeSel})
+		})
+		if code != 0 {
+			t.Fatalf("bench shard %d exit %d", i, code)
+		}
+		return out
+	}
+	// Interrupt both shard jobs: each loses tail records, so the missing
+	// points span files (and, with two lines gone, likely experiments).
+	p0 := filepath.Join(dir, "s0.jsonl")
+	p1 := filepath.Join(dir, "s1.jsonl")
+	if err := os.WriteFile(p0, chop(t, shard(0), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p1, chop(t, shard(1), 2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Merge fails on the incomplete set but leaves the resume artifact.
+	rest := filepath.Join(dir, "rest.json")
+	code := -1
+	captureStdout(t, func() {
+		code = mergeCmd("aem merge", []string{"-residual", rest, p0, p1})
+	})
+	if code != 1 {
+		t.Fatalf("incomplete merge exit %d, want 1", code)
+	}
+	if _, err := os.Stat(rest); err != nil {
+		t.Fatalf("residual spec not written: %v", err)
+	}
+
+	// One command runs the remainder.
+	code = -1
+	restStream := captureStdout(t, func() {
+		code = workCmd("aem work", []string{"-residual", rest})
+	})
+	if code != 0 {
+		t.Fatalf("work -residual exit %d", code)
+	}
+	pr := filepath.Join(dir, "rest.jsonl")
+	if err := os.WriteFile(pr, restStream, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code = -1
+	merged := captureStdout(t, func() {
+		code = mergeCmd("aem merge", []string{p0, p1, pr})
+	})
+	if code != 0 {
+		t.Fatalf("merge with residual exit %d", code)
+	}
+	code = -1
+	want := captureStdout(t, func() {
+		code = benchCmd("aem bench", []string{"-exp", resumeSel})
+	})
+	if code != 0 {
+		t.Fatalf("reference bench exit %d", code)
+	}
+	if !bytes.Equal(merged, want) {
+		t.Fatal("resumed merge diverged from the uninterrupted run")
+	}
+}
+
+// TestWorkFlagValidation: the two worker modes are mutually exclusive
+// and one is required.
+func TestWorkFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-connect", "http://x", "-residual", "y"},
+	} {
+		if code := workCmd("aem work", args); code != 2 {
+			t.Errorf("work %v exit %d, want 2", args, code)
+		}
+	}
+}

@@ -12,8 +12,10 @@ import (
 )
 
 // gateCmd is the throughput regression gate: it derives per-experiment
-// ns/point from the wall_ns fields of an `aem bench -json -timing` run
-// and compares against a committed baseline, failing only on pathological
+// ns/point from the wall_ns fields of any timed JSON Lines stream — an
+// `aem bench -json -timing` run, or the point records of a shard or fleet
+// run (`aem bench -shard`, `aem serve`), which always carry wall_ns — and
+// compares against a committed baseline, failing only on pathological
 // slowdowns. The tolerance is deliberately generous (default 3×): the
 // gate exists to catch an accidentally re-boxed hot path or a quadratic
 // regression, not to flake on a noisy CI machine.
@@ -111,10 +113,14 @@ type throughputBaseline struct {
 
 // readBenchTimings aggregates the wall_ns fields of a bench/merge JSON
 // Lines stream into per-experiment summaries, preserving first-seen
-// order. Row records without wall_ns and the stream's own throughput
-// summary records are skipped: the gate re-derives from the raw points,
-// so it works on any timed stream regardless of which records survived
-// ad-hoc filtering.
+// order. Two record shapes carry timings: the untyped row records of
+// `aem bench -json -timing` / `aem merge -json -timing`, and the
+// "type":"point" records of shard and fleet streams (`aem bench -shard`,
+// `aem serve`, `aem work -residual`), whose wall_ns is always recorded.
+// Row records without wall_ns, shard manifests and the stream's own
+// throughput summary records are skipped: the gate re-derives from the
+// raw points, so it works on any timed stream regardless of which
+// records survived ad-hoc filtering.
 func readBenchTimings(r io.Reader) (map[string]*harness.Throughput, []string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -135,7 +141,7 @@ func readBenchTimings(r io.Reader) (map[string]*harness.Throughput, []string, er
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			return nil, nil, fmt.Errorf("bench input line %d: %v", line, err)
 		}
-		if rec.Type != "" || rec.Experiment == "" || rec.WallNS == nil {
+		if (rec.Type != "" && rec.Type != "point") || rec.Experiment == "" || rec.WallNS == nil {
 			continue
 		}
 		tp, ok := out[rec.Experiment]

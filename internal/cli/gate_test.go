@@ -125,6 +125,65 @@ func TestGateSkipsUnknownExperiments(t *testing.T) {
 	}
 }
 
+// shardLines fabricates a shard/fleet point-record stream as written by
+// `aem bench -shard i/m -json`, `aem serve` or `aem work -residual`:
+// a manifest line followed by typed "point" records carrying wall_ns.
+func shardLines(fastNS, slowNS int64) string {
+	var b strings.Builder
+	b.WriteString(`{"type":"shard","shard":0,"of":1,"experiments":["EXP-A","EXP-B"],"grid_points":6}` + "\n")
+	for i := 0; i < 4; i++ {
+		b.WriteString(`{"type":"point","experiment":"EXP-A","index":` + itoa(i) + `,"points":4,"row":[1],"cells":["1"],"wall_ns":` + i64toa(fastNS) + "}\n")
+	}
+	for i := 0; i < 2; i++ {
+		b.WriteString(`{"type":"point","experiment":"EXP-B","index":` + itoa(i) + `,"points":2,"row":[1],"cells":["1"],"wall_ns":` + i64toa(slowNS) + "}\n")
+	}
+	return b.String()
+}
+
+// TestGateAcceptsShardStreams pins the typed-record fix: shard and fleet
+// streams tag every point record with "type":"point", and the gate used
+// to skip any record with a non-empty type — so gating a shard stream
+// reported "no timed records" and CI could not gate exactly the runs
+// that are worth gating. Point records must aggregate (manifest lines
+// still skipped), and a shard stream must gate cleanly against a
+// baseline pinned from an untyped bench stream of the same timings.
+func TestGateAcceptsShardStreams(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	if code, out := gateRun(t, shardLines(1_000_000, 4_000_000), "-baseline", base, "-write-baseline"); code != 0 {
+		t.Fatalf("write-baseline from a shard stream exit %d\n%s", code, out)
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pinned throughputBaseline
+	if err := json.Unmarshal(raw, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned.Experiments["EXP-A"].Points; got != 4 {
+		t.Errorf("EXP-A points = %d, want 4 — typed point records were skipped", got)
+	}
+	if got := pinned.Experiments["EXP-A"].NSPerPoint; got != 1_000_000 {
+		t.Errorf("EXP-A ns/point = %v, want 1e6 (manifest line must not enter aggregation)", got)
+	}
+
+	// The same timings in untyped bench form gate at 1.00x against the
+	// shard-pinned baseline: both shapes measure the same thing.
+	code, out := gateRun(t, benchLines(1_000_000, 4_000_000), "-baseline", base)
+	if code != 0 {
+		t.Fatalf("bench stream vs shard-pinned baseline exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "1.00x ok") {
+		t.Errorf("cross-shape gate lacks a 1.00x ok verdict:\n%s", out)
+	}
+	// And a regressed shard stream still fails: the typed path feeds the
+	// same comparison, not a separate lenient one.
+	if code, out := gateRun(t, shardLines(1_000_000, 40_000_000), "-baseline", base); code != 1 {
+		t.Errorf("regressed shard stream exit %d, want 1\n%s", code, out)
+	}
+}
+
 // TestGateRejectsUntimedInput: a bench stream without wall_ns fields (run
 // without -timing) must produce a clear error, not a silent pass.
 func TestGateRejectsUntimedInput(t *testing.T) {

@@ -1,33 +1,42 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"os"
 
 	"repro/internal/harness"
 )
 
-// mergeCmd reassembles a sharded `aem bench` run: given the JSON Lines
-// point-record files written by `aem bench -shard i/m -json`, it verifies
-// the shard set is complete and consistent (no shard missing, duplicated
-// or overlapping; no grid point missing or duplicated), re-runs the
-// derived/summary columns over the merged grid, and renders output
-// byte-identical to a single-machine `aem bench` of the same selection.
+// mergeCmd reassembles a sharded or fleet `aem bench` run: given the
+// JSON Lines point-record files written by `aem bench -shard i/m -json`,
+// `aem serve` or `aem work -residual`, it verifies the shard set is
+// complete and consistent (no shard missing, duplicated or overlapping;
+// no grid point missing or duplicated), re-runs the derived/summary
+// columns over the merged grid, and renders output byte-identical to a
+// single-machine `aem bench` of the same selection.
 //
 //	aem merge shard0.jsonl shard1.jsonl           rendered tables to stdout
 //	aem merge -json shard*.jsonl                  JSON Lines, one record per row
 //	aem merge -csv out/ shard*.jsonl              additionally write CSVs
 //	aem merge -timing shard*.jsonl                append per-point wall-clock
+//	aem merge -residual rest.json partial.jsonl   on missing points, write the
+//	                                              resume spec for `aem work`
 //
 // Points that panicked on a shard surface here exactly as an unsharded
 // run reports them: aggregated per experiment, emission stopping at the
-// first failed experiment.
+// first failed experiment. An incomplete set (an interrupted fleet or a
+// lost shard job) reports every missing point across all experiments;
+// with -residual the same list is written as a machine-readable residual
+// spec, so the resume is `aem work -residual rest.json > rest.jsonl`
+// followed by re-merging with rest.jsonl added to the file list.
 func mergeCmd(prog string, args []string) int {
 	fs := flag.NewFlagSet(prog, flag.ExitOnError)
 	var (
 		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files into")
 		jsonOut = fs.Bool("json", false, "emit JSON Lines (one record per table row) instead of rendered tables")
 		timing  = fs.Bool("timing", false, "append the shards' per-point wall-clock columns / wall_ns fields")
+		resPath = fs.String("residual", "", "file to write the residual spec into when grid points are missing")
 	)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
@@ -88,6 +97,15 @@ func mergeCmd(prog string, args []string) int {
 	})
 	if err != nil {
 		fail(prog, "%v", err)
+		var inc *harness.IncompleteError
+		if errors.As(err, &inc) && *resPath != "" {
+			if werr := writeResidual(*resPath, inc.ResidualSpec()); werr != nil {
+				fail(prog, "writing residual spec: %v", werr)
+			} else {
+				fail(prog, "residual spec written: %s (%d missing points); resume with `aem work -residual %s > rest.jsonl` and re-merge with rest.jsonl added",
+					*resPath, len(inc.Missing), *resPath)
+			}
+		}
 		return 1
 	}
 	if firstErr != nil {
@@ -95,4 +113,17 @@ func mergeCmd(prog string, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// writeResidual writes the residual spec to path.
+func writeResidual(path string, rs *harness.ResidualSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rs.WriteResidual(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,7 +2,7 @@ package harness
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 )
 
 // MergeShards reassembles a sharded run: given the specs named by the
@@ -15,9 +15,25 @@ import (
 // shard panic here with the same aggregated experiment IDs and messages
 // an unsharded Run produces.
 //
+// Two kinds of shard set merge. A pure round-robin set (every file from
+// `aem bench -shard i/m` or `aem serve`, which writes a 1-of-1 stream)
+// must form one complete partition: same shard count everywhere, every
+// shard present exactly once, every record in the shard that owns it. A
+// set containing residual files (`aem work -residual` output, marked in
+// the manifest) is a patchwork — partial outputs of any partition plus
+// the streams that complete them — so the partition-shape checks don't
+// apply; the point-level guarantees (nothing missing, nothing duplicated,
+// nothing torn, agreement on selection and grid size, and round-robin
+// files still owning their records) are enforced identically.
+//
 // The returned error covers integrity problems with the shard set itself
 // (missing/duplicate/overlapping shards, foreign or torn files, registry
-// drift); experiment failures panic, per the harness contract.
+// drift); experiment failures panic, per the harness contract. When the
+// set is consistent but grid points are missing — an interrupted run —
+// the error is an *IncompleteError aggregating every missing point
+// across all specs, whose ResidualSpec method is the machine-readable
+// resume: run it with `aem work -residual` and merge the result into
+// this same set.
 //
 // With timing set, each table carries the per-point wall-clock recorded
 // by the shards (Table.WallNS).
@@ -26,24 +42,21 @@ func MergeShards(specs []*Spec, files []*ShardFile, timing bool, emit func(*Tabl
 		return fmt.Errorf("no shard files to merge")
 	}
 
-	// The first manifest fixes the partition; every other file must agree.
+	// The first manifest fixes the selection; every file must agree on it
+	// and on the global grid size, whatever partition it came from.
 	ref := files[0].Manifest
-	if ref.Of < 1 {
-		return fmt.Errorf("shard %d: invalid shard count %d", ref.Shard, ref.Of)
-	}
-	seenShard := make(map[int]bool)
+	patchwork := false
 	for _, f := range files {
 		m := f.Manifest
-		if m.Of != ref.Of {
-			return fmt.Errorf("shard files disagree: %d-way and %d-way partitions mixed", ref.Of, m.Of)
+		if m.Of < 1 {
+			return fmt.Errorf("shard %d: invalid shard count %d", m.Shard, m.Of)
 		}
 		if m.Shard < 0 || m.Shard >= m.Of {
 			return fmt.Errorf("shard index %d out of range for a %d-way partition", m.Shard, m.Of)
 		}
-		if seenShard[m.Shard] {
-			return fmt.Errorf("duplicate shard %d/%d: the same shard appears in two files", m.Shard, m.Of)
+		if m.Residual {
+			patchwork = true
 		}
-		seenShard[m.Shard] = true
 		if len(m.Experiments) != len(ref.Experiments) {
 			return fmt.Errorf("shard files disagree on the experiment selection")
 		}
@@ -56,14 +69,31 @@ func MergeShards(specs []*Spec, files []*ShardFile, timing bool, emit func(*Tabl
 			return fmt.Errorf("shard files disagree on the grid size: %d vs %d points", m.GridPoints, ref.GridPoints)
 		}
 	}
-	if len(seenShard) != ref.Of {
-		var missing []int
-		for i := 0; i < ref.Of; i++ {
-			if !seenShard[i] {
-				missing = append(missing, i)
+
+	// Partition-shape checks: only a pure round-robin set claims to be
+	// one complete partition. A patchwork set's completeness is decided
+	// point by point below.
+	if !patchwork {
+		seenShard := make(map[int]bool)
+		for _, f := range files {
+			m := f.Manifest
+			if m.Of != ref.Of {
+				return fmt.Errorf("shard files disagree: %d-way and %d-way partitions mixed", ref.Of, m.Of)
 			}
+			if seenShard[m.Shard] {
+				return fmt.Errorf("duplicate shard %d/%d: the same shard appears in two files", m.Shard, m.Of)
+			}
+			seenShard[m.Shard] = true
 		}
-		return fmt.Errorf("incomplete shard set: missing shard(s) %v of %d", missing, ref.Of)
+		if len(seenShard) != ref.Of {
+			var missing []int
+			for i := 0; i < ref.Of; i++ {
+				if !seenShard[i] {
+					missing = append(missing, i)
+				}
+			}
+			return fmt.Errorf("incomplete shard set: missing shard(s) %v of %d", missing, ref.Of)
+		}
 	}
 
 	if len(specs) != len(ref.Experiments) {
@@ -108,8 +138,13 @@ func MergeShards(specs []*Spec, files []*ShardFile, timing bool, emit func(*Tabl
 			if rec.Index < 0 || rec.Index >= len(st.pts) {
 				return fmt.Errorf("shard %d: %s point %d out of range [0,%d)", f.Manifest.Shard, rec.Experiment, rec.Index, len(st.pts))
 			}
-			if owner := (base[si] + rec.Index) % ref.Of; owner != f.Manifest.Shard {
-				return fmt.Errorf("overlapping shards: %s point %d belongs to shard %d but appears in shard %d", rec.Experiment, rec.Index, owner, f.Manifest.Shard)
+			// A round-robin shard must own every record it carries, per its
+			// own manifest's partition — a residual file owns whatever its
+			// spec listed, which the fill bookkeeping checks instead.
+			if !f.Manifest.Residual {
+				if owner := (base[si] + rec.Index) % f.Manifest.Of; owner != f.Manifest.Shard {
+					return fmt.Errorf("overlapping shards: %s point %d belongs to shard %d but appears in shard %d", rec.Experiment, rec.Index, owner, f.Manifest.Shard)
+				}
 			}
 			if filled[si][rec.Index] {
 				return fmt.Errorf("duplicated point: %s point %d appears twice in the shard set", rec.Experiment, rec.Index)
@@ -134,20 +169,23 @@ func MergeShards(specs []*Spec, files []*ShardFile, timing bool, emit func(*Tabl
 			st.wallNS[rec.Index] = rec.WallNS
 		}
 	}
+
+	// Completeness, aggregated across all specs: an interrupted run is
+	// usually missing points from several experiments at once, and the
+	// resume machinery needs the full list, not the first incomplete spec.
+	var missing []GridRef
 	for si, st := range sts {
 		if st.enumFailed() {
 			continue // reproduced locally; shards recorded nothing for it
 		}
-		var missing []int
 		for pi, ok := range filled[si] {
 			if !ok {
-				missing = append(missing, pi)
+				missing = append(missing, GridRef{Experiment: specs[si].ID, Index: pi})
 			}
 		}
-		if len(missing) > 0 {
-			sort.Ints(missing)
-			return fmt.Errorf("incomplete shard set: %s is missing %d point(s), first %d", specs[si].ID, len(missing), missing[0])
-		}
+	}
+	if len(missing) > 0 {
+		return &IncompleteError{Experiments: ref.Experiments, GridPoints: ref.GridPoints, Missing: missing}
 	}
 
 	// From here the path is byte-for-byte the unsharded one: the same
@@ -159,4 +197,53 @@ func MergeShards(specs []*Spec, files []*ShardFile, timing bool, emit func(*Tabl
 	}
 	panicOnFailures(failures)
 	return nil
+}
+
+// IncompleteError reports a consistent but unfinished shard set: every
+// grid point no file in the set carries, across all specs, in global
+// grid order. It is the error form of an interrupted run — convert it
+// with ResidualSpec to get the machine-readable remainder `aem work
+// -residual` consumes.
+type IncompleteError struct {
+	Experiments []string
+	GridPoints  int
+	Missing     []GridRef
+}
+
+// Error aggregates the missing points per experiment in one message.
+// Index lists are capped per experiment to keep the message readable on
+// badly interrupted runs; the counts are always exact.
+func (e *IncompleteError) Error() string {
+	const maxListed = 8
+	var parts []string
+	order := make([]string, 0, len(e.Experiments))
+	byExp := map[string][]int{}
+	for _, ref := range e.Missing {
+		if _, seen := byExp[ref.Experiment]; !seen {
+			order = append(order, ref.Experiment)
+		}
+		byExp[ref.Experiment] = append(byExp[ref.Experiment], ref.Index)
+	}
+	for _, id := range order {
+		idxs := byExp[id]
+		shown := idxs
+		ellipsis := ""
+		if len(shown) > maxListed {
+			shown = shown[:maxListed]
+			ellipsis = " …"
+		}
+		parts = append(parts, fmt.Sprintf("%s is missing %d point(s) %v%s", id, len(idxs), shown, ellipsis))
+	}
+	return fmt.Sprintf("incomplete shard set: %s — %d of %d grid points missing (write a residual spec with `aem merge -residual` to resume)",
+		strings.Join(parts, "; "), len(e.Missing), e.GridPoints)
+}
+
+// ResidualSpec converts the error into the resume artifact.
+func (e *IncompleteError) ResidualSpec() *ResidualSpec {
+	return &ResidualSpec{
+		Type:        "residual",
+		Experiments: e.Experiments,
+		GridPoints:  e.GridPoints,
+		Missing:     e.Missing,
+	}
 }

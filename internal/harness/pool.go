@@ -31,7 +31,10 @@ var machinePools sync.Map // poolKey → *sync.Pool of *aem.Machine
 // from the per-{backend, B} pool when one is available, freshly
 // constructed otherwise — together with a release function returning it
 // for reuse. Call release only once the machine's storage is no longer
-// read: the next point will Reset it.
+// read: the next point will Reset it. Release is idempotent: only the
+// first call returns the machine, so a double release (an easy slip in a
+// defer-heavy point function) cannot put the same machine into the pool
+// twice and hand one arena to two concurrent grid points.
 func PooledMachine(cfg aem.Config, backend string) (ma *aem.Machine, release func()) {
 	key := poolKey{backend: backend, b: cfg.B}
 	entry, ok := machinePools.Load(key)
@@ -45,5 +48,6 @@ func PooledMachine(cfg aem.Config, backend string) (ma *aem.Machine, release fun
 	} else {
 		ma = backendMachine(cfg, backend)
 	}
-	return ma, func() { pool.Put(ma) }
+	var once sync.Once
+	return ma, func() { once.Do(func() { pool.Put(ma) }) }
 }

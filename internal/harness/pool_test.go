@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"repro/internal/aem"
@@ -72,6 +73,61 @@ func TestPooledMachineRejectsOversizedB(t *testing.T) {
 	if ma2.Config().B != 16 {
 		t.Fatalf("pooled machine has B=%d, want 16", ma2.Config().B)
 	}
+}
+
+// TestPooledMachineReleaseIdempotent pins the double-release fix: a
+// release called twice (an easy slip in a defer-heavy point function)
+// must put the machine into the pool once, not twice — a double Put
+// lets two subsequent gets hand the same arena to two concurrent grid
+// points. Uses its own pool key (slice, B=32) so other tests' pools
+// can't mask the duplicate.
+func TestPooledMachineReleaseIdempotent(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 32, Omega: 1}
+	_, release := PooledMachine(cfg, "slice")
+	release()
+	release() // second call must be a no-op
+	a, relA := PooledMachine(cfg, "slice")
+	defer relA()
+	b, relB := PooledMachine(cfg, "slice")
+	defer relB()
+	if a == b {
+		t.Fatal("double release put the machine into the pool twice: two live gets share one machine")
+	}
+}
+
+// TestPooledMachineDoubleReleaseRace hammers the double-release path
+// from many goroutines under -race: every held machine must be
+// exclusively held, even though each holder releases twice. Before the
+// fix this aliases one arena across goroutines, which -race reports as
+// concurrent writes inside poolWorkload. Uses its own pool key
+// (arena, B=24).
+func TestPooledMachineDoubleReleaseRace(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 24, Omega: 1}
+	var mu sync.Mutex
+	held := make(map[*aem.Machine]int)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ma, release := PooledMachine(cfg, "arena")
+				mu.Lock()
+				held[ma]++
+				if held[ma] > 1 {
+					t.Errorf("machine handed to %d holders at once", held[ma])
+				}
+				mu.Unlock()
+				poolWorkload(ma, 60)
+				mu.Lock()
+				held[ma]--
+				mu.Unlock()
+				release()
+				release() // racing double release must stay inert
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestRunPooledParByteIdentity extends the scheduler's byte-identity

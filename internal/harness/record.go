@@ -15,6 +15,14 @@ import (
 // merged grid), pre-rendered cells (so value formatting happens exactly
 // once, on the worker that measured the point), panic info (so failure
 // aggregation survives the merge), and the point's wall-clock.
+//
+// The same PointRecord is also the fleet protocol payload: `aem work`
+// streams these records over HTTP to the `aem serve` coordinator, which
+// writes the accepted ones as a single 1-of-1 shard stream — so a fleet
+// run's output merges through exactly the code path a CI shard matrix
+// uses. A ResidualSpec names the points an interrupted run is missing;
+// RunResidual turns one into a residual shard stream that completes the
+// original partial outputs at merge time.
 
 // ShardManifest is the first line of every shard file: which slice of
 // which run this file holds. Merge validation is built on it — shard
@@ -26,6 +34,62 @@ type ShardManifest struct {
 	Of          int      `json:"of"`
 	Experiments []string `json:"experiments"`
 	GridPoints  int      `json:"grid_points"` // global point count across all experiments
+
+	// Residual marks a stream whose points were chosen by a ResidualSpec
+	// rather than by round-robin partition — the output of `aem work
+	// -residual`, produced to complete an interrupted run. MergeShards
+	// relaxes the shard-set checks that assume one partition (shard
+	// presence, ownership) when a residual file is in the mix; the
+	// point-level checks (missing, duplicated, torn) still apply.
+	Residual bool `json:"residual,omitempty"`
+}
+
+// GridRef names one grid point globally: an experiment ID plus the
+// point's index in that experiment's grid enumeration. It is the unit
+// the fleet coordinator leases to workers and the unit a ResidualSpec
+// lists as missing.
+type GridRef struct {
+	Experiment string `json:"experiment"`
+	Index      int    `json:"index"`
+}
+
+// ResidualSpec is the machine-readable remainder of an interrupted run:
+// every grid point the merged partial outputs are missing, across all
+// specs, plus enough of the original run's identity (selection and
+// global grid size) for the resume to detect registry drift. `aem merge
+// -residual` writes one when the shard set is incomplete; `aem work
+// -residual` runs exactly these points and emits a residual shard
+// stream, so resume is one command.
+type ResidualSpec struct {
+	Type        string    `json:"type"` // "residual"
+	Experiments []string  `json:"experiments"`
+	GridPoints  int       `json:"grid_points"`
+	Missing     []GridRef `json:"missing"`
+}
+
+// WriteResidual writes the spec as indented JSON.
+func (rs *ResidualSpec) WriteResidual(w io.Writer) error {
+	raw, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}
+
+// ReadResidualSpec parses a residual spec written by WriteResidual.
+func ReadResidualSpec(r io.Reader) (*ResidualSpec, error) {
+	var rs ResidualSpec
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("residual spec: %v", err)
+	}
+	if rs.Type != "residual" {
+		return nil, fmt.Errorf("residual spec: type %q, want %q", rs.Type, "residual")
+	}
+	if len(rs.Missing) == 0 {
+		return nil, fmt.Errorf("residual spec: no missing points listed")
+	}
+	return &rs, nil
 }
 
 // PointRecord is one grid point's result. Points is the experiment's
@@ -112,9 +176,10 @@ func ReadShardFile(r io.Reader) (*ShardFile, error) {
 // Unlike LocalPool, a panicking point is not fatal here: its panic
 // message travels in the point's record and surfaces — aggregated across
 // shards, exactly as an unsharded run would report it — when the shards
-// are merged. Execute still returns an error naming the number of failed
-// points, so a sharded CI job fails fast, but only after every record has
-// been written. emit is never called.
+// are merged. Execute still returns an error naming every kind of
+// failure — panicked points and panicked grid enumerations alike — so a
+// sharded CI job fails fast, but only after every record has been
+// written. emit is never called.
 type ShardExecutor struct {
 	Index, Count int
 	Par          int
@@ -160,36 +225,60 @@ func (e *ShardExecutor) Execute(specs []*Spec, emit func(*Table)) error {
 	}); err != nil {
 		return err
 	}
-	failed := 0
+	failed, enumFailed := 0, 0
 	for si, s := range specs {
 		st := sts[si]
 		// A grid-enumeration panic produces no per-point slots; the merge
 		// binary re-enumerates the same deterministic grid and reports the
-		// identical failure itself, so nothing needs recording here.
+		// identical failure itself, so nothing needs recording here — but
+		// it must still fail this shard's exit code below: the per-point
+		// counter never sees it.
 		if st.enumFailed() {
+			enumFailed++
 			continue
 		}
 		for pi := range st.pts {
 			if !owned[si][pi] {
 				continue
 			}
-			rec := PointRecord{
-				Type: "point", Experiment: s.ID, Index: pi, Points: len(st.pts),
-				WallNS: st.wallNS[pi],
-			}
-			if pm := st.panicAt[pi]; pm != "" {
-				rec.Panic = pm
+			rec := st.record(s, pi)
+			if rec.Panic != "" {
 				failed++
-			} else {
-				rec.Row = st.rows[pi]
-				rec.Cells = st.cells[pi]
 			}
 			if err := enc.Encode(rec); err != nil {
 				return err
 			}
 		}
 	}
-	if failed > 0 {
+	return shardFailure(failed, enumFailed)
+}
+
+// record builds the wire record of one finished grid point.
+func (st *specState) record(s *Spec, pi int) PointRecord {
+	rec := PointRecord{
+		Type: "point", Experiment: s.ID, Index: pi, Points: len(st.pts),
+		WallNS: st.wallNS[pi],
+	}
+	if pm := st.panicAt[pi]; pm != "" {
+		rec.Panic = pm
+	} else {
+		rec.Row = st.rows[pi]
+		rec.Cells = st.cells[pi]
+	}
+	return rec
+}
+
+// shardFailure renders a record-streaming run's failure tally into its
+// exit error: nil only when nothing panicked. Grid-enumeration panics
+// carry no records (the merge binary reproduces them deterministically),
+// but they must still fail the producing job.
+func shardFailure(failed, enumFailed int) error {
+	switch {
+	case failed > 0 && enumFailed > 0:
+		return fmt.Errorf("%d point(s) and %d grid enumeration(s) panicked; the failures are recorded in the shard output and will surface at merge", failed, enumFailed)
+	case enumFailed > 0:
+		return fmt.Errorf("%d grid enumeration(s) panicked; the failure reproduces at merge from the registry, no record needed", enumFailed)
+	case failed > 0:
 		return fmt.Errorf("%d point(s) panicked; the failures are recorded in the shard output and will surface at merge", failed)
 	}
 	return nil

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file runs explicitly-named grid points — the execution substrate
+// of the fleet. Where ShardExecutor owns a fixed round-robin slice of
+// the global point list, a PointRunner is handed arbitrary GridRefs (a
+// coordinator lease, a residual spec's missing list) and produces the
+// same self-describing PointRecords, through the same runJobs pool, so
+// a fleet worker and a CI shard cannot measure a point differently.
+
+// PointRunner enumerates a selection's grids once and then runs any
+// subset of their points on demand, streaming one PointRecord per
+// point. Results are memoized per point: re-running a ref (a
+// speculative lease that lost the race, a duplicated residual entry)
+// delivers the already-measured record instead of paying for the point
+// again.
+type PointRunner struct {
+	specs  []*Spec
+	sts    []*specState
+	bySpec map[string]int
+	base   []int // each spec's first global point index
+	total  int
+
+	mu   sync.Mutex     // serializes delivery and memo bookkeeping
+	done []map[int]bool // per spec, point index → already measured
+}
+
+// NewPointRunner enumerates every spec's grid. A spec whose enumeration
+// panics deterministically contributes no points — exactly as it does on
+// every other executor; the failure surfaces at merge time from the
+// registry.
+func NewPointRunner(specs []*Spec) *PointRunner {
+	r := &PointRunner{
+		specs:  specs,
+		sts:    newSpecStates(specs),
+		bySpec: make(map[string]int, len(specs)),
+		base:   make([]int, len(specs)),
+	}
+	for si, s := range specs {
+		r.bySpec[s.ID] = si
+		r.base[si] = r.total
+		r.total += len(r.sts[si].pts)
+		r.done = append(r.done, make(map[int]bool))
+	}
+	return r
+}
+
+// Total returns the global grid size across all specs — the number a
+// shard manifest carries as grid_points.
+func (r *PointRunner) Total() int { return r.total }
+
+// Refs returns every grid point of the selection in global order: spec
+// order, grid order within each spec. This is the point list a fleet
+// coordinator leases from.
+func (r *PointRunner) Refs() []GridRef {
+	refs := make([]GridRef, 0, r.total)
+	for si, s := range r.specs {
+		for pi := range r.sts[si].pts {
+			refs = append(refs, GridRef{Experiment: s.ID, Index: pi})
+		}
+	}
+	return refs
+}
+
+// Check validates that ref names a point of this runner's grids.
+func (r *PointRunner) Check(ref GridRef) error {
+	si, ok := r.bySpec[ref.Experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %s (registry drift?)", ref.Experiment)
+	}
+	if ref.Index < 0 || ref.Index >= len(r.sts[si].pts) {
+		return fmt.Errorf("%s point %d out of range [0,%d)", ref.Experiment, ref.Index, len(r.sts[si].pts))
+	}
+	return nil
+}
+
+// ValidateRecord checks that an incoming record matches this runner's
+// grids: known experiment, consistent grid size, in-range index, and —
+// for a healthy record — exactly one raw value and one rendered cell per
+// column. The fleet coordinator runs every worker-delivered record
+// through this before accepting it.
+func (r *PointRunner) ValidateRecord(rec *PointRecord) error {
+	if err := r.Check(GridRef{Experiment: rec.Experiment, Index: rec.Index}); err != nil {
+		return err
+	}
+	si := r.bySpec[rec.Experiment]
+	if rec.Points != len(r.sts[si].pts) {
+		return fmt.Errorf("%s has %d grid points, record says %d (registry drift?)", rec.Experiment, len(r.sts[si].pts), rec.Points)
+	}
+	if rec.Panic == "" {
+		ncols := len(r.specs[si].Columns)
+		if len(rec.Row) != ncols || len(rec.Cells) != ncols {
+			return fmt.Errorf("torn record: %s point %d has %d row values and %d cells for %d columns",
+				rec.Experiment, rec.Index, len(rec.Row), len(rec.Cells), ncols)
+		}
+	}
+	return nil
+}
+
+// Run measures the named points on a pool of at most par goroutines and
+// delivers one record per ref as each point completes (completion
+// order). deliver calls are serialized; a deliver error stops delivery
+// and is returned after in-flight points drain. Refs are validated up
+// front — an unknown experiment or out-of-range index fails the whole
+// call before anything runs. Duplicate refs and refs measured by an
+// earlier Run deliver the memoized record without re-running the point.
+func (r *PointRunner) Run(refs []GridRef, par int, deliver func(PointRecord) error) error {
+	if par < 1 {
+		par = 1
+	}
+	for _, ref := range refs {
+		if err := r.Check(ref); err != nil {
+			return err
+		}
+	}
+
+	var jobs []job
+	var memo []job // already measured: deliver without re-running
+	r.mu.Lock()
+	fresh := make(map[job]bool)
+	for _, ref := range refs {
+		j := job{r.bySpec[ref.Experiment], ref.Index}
+		switch {
+		case r.done[j.si][j.pi]:
+			memo = append(memo, j)
+		case fresh[j]:
+			// duplicated within this call: the running copy delivers
+		default:
+			fresh[j] = true
+			jobs = append(jobs, j)
+		}
+	}
+	r.mu.Unlock()
+
+	var deliverErr error
+	send := func(j job) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.done[j.si][j.pi] = true
+		if deliverErr != nil {
+			return
+		}
+		deliverErr = deliver(r.sts[j.si].record(r.specs[j.si], j.pi))
+	}
+	for _, j := range memo {
+		send(j)
+	}
+	runJobs(r.specs, r.sts, jobs, par, send).Wait()
+	return deliverErr
+}
+
+// RunResidualSpecs runs a residual spec's missing points against an
+// already-resolved spec list (which must match rs.Experiments in order)
+// and writes a residual shard stream — manifest plus one record per
+// missing point — to w. The stream merges with the original partial
+// outputs through MergeShards' relaxed residual mode. Like
+// ShardExecutor, panics are not fatal: they travel in the records, and
+// the returned error tallies them so a resume job still fails fast.
+func RunResidualSpecs(specs []*Spec, rs *ResidualSpec, par int, w io.Writer) error {
+	if len(specs) != len(rs.Experiments) {
+		return fmt.Errorf("residual spec names %d experiments, resolved %d", len(rs.Experiments), len(specs))
+	}
+	for i, s := range specs {
+		if s.ID != rs.Experiments[i] {
+			return fmt.Errorf("residual spec experiment %d is %s, resolved spec is %s", i, rs.Experiments[i], s.ID)
+		}
+	}
+	r := NewPointRunner(specs)
+	if r.Total() != rs.GridPoints {
+		return fmt.Errorf("residual spec was produced from a different grid: %d points there, %d here (registry drift?)", rs.GridPoints, r.Total())
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ShardManifest{
+		Type: "shard", Shard: 0, Of: 1, Residual: true,
+		Experiments: rs.Experiments, GridPoints: rs.GridPoints,
+	}); err != nil {
+		return err
+	}
+	failed := 0
+	if err := r.Run(rs.Missing, par, func(rec PointRecord) error {
+		if rec.Panic != "" {
+			failed++
+		}
+		return enc.Encode(rec)
+	}); err != nil {
+		return err
+	}
+	enumFailed := 0
+	for _, st := range r.sts {
+		if st.enumFailed() {
+			enumFailed++
+		}
+	}
+	return shardFailure(failed, enumFailed)
+}
+
+// RunResidual resolves the residual spec's experiments against this
+// binary's registry and runs its missing points — the implementation
+// behind `aem work -residual`.
+func RunResidual(rs *ResidualSpec, par int, w io.Writer) error {
+	specs := make([]*Spec, len(rs.Experiments))
+	for i, id := range rs.Experiments {
+		s, ok := ByID(id)
+		if !ok {
+			return fmt.Errorf("residual spec names unknown experiment %s (produced by a different registry?)", id)
+		}
+		specs[i] = s
+	}
+	return RunResidualSpecs(specs, rs, par, w)
+}
