@@ -24,7 +24,7 @@ func traceEqual(a, b []TraceOp) bool {
 func TestScanReadsMatchesPerOp(t *testing.T) {
 	cfg := Config{M: 32, B: 4, Omega: 5}
 	const blocks = 13
-	for _, eng := range engines(cfg.B) {
+	for _, eng := range engines(t, cfg.B) {
 		for _, traced := range []bool{false, true} {
 			name := eng.name
 			if traced {
@@ -77,7 +77,7 @@ func TestScanWritesMatchesWriter(t *testing.T) {
 	cfg := Config{M: 32, B: 4, Omega: 5}
 	const blocks, lastLen = 7, 3
 	n := (blocks-1)*cfg.B + lastLen
-	for _, eng := range engines(cfg.B) {
+	for _, eng := range engines(t, cfg.B) {
 		for _, traced := range []bool{false, true} {
 			name := eng.name
 			if traced {
@@ -192,7 +192,7 @@ func TestMachineRecycle(t *testing.T) {
 		w.Close()
 		return out.Materialize()
 	}
-	for _, eng := range engines(dirty.B) {
+	for _, eng := range engines(t, dirty.B) {
 		t.Run(eng.name, func(t *testing.T) {
 			recycled := NewWithStorage(dirty, eng.make())
 			recycled.SetPhase("warmup")
@@ -251,7 +251,7 @@ func TestRecycleRejectsUndersizedArena(t *testing.T) {
 // run's values must never leak through retained capacity.
 func TestStorageResetFreshness(t *testing.T) {
 	const b = 4
-	for _, eng := range engines(b) {
+	for _, eng := range engines(t, b) {
 		t.Run(eng.name, func(t *testing.T) {
 			s := eng.make()
 			s.Alloc(6)
@@ -332,7 +332,7 @@ func TestVectorFastPathTraceIdentity(t *testing.T) {
 // exists.
 func TestWriterZeroAllocSteadyState(t *testing.T) {
 	cfg := Config{M: 64, B: 8, Omega: 4}
-	for _, eng := range engines(cfg.B) {
+	for _, eng := range engines(t, cfg.B) {
 		if eng.name == "slice" {
 			continue
 		}

@@ -1,0 +1,347 @@
+package aem
+
+import (
+	"fmt"
+	"os"
+	"unsafe"
+)
+
+// This file is the real-I/O storage engine: one file as the external
+// memory. Every other engine in the repository is RAM-backed, so wall
+// clock measures simulator overhead; with FileStorage the same algorithms
+// run against an actual block device and wall clock becomes a measurement
+// of the device — the experiment the paper could not run (regressing
+// measured time on Q = Qr + ω·Qw to fit the device's effective ω lives in
+// bounds.FitOmega and the EXP-IO specs).
+//
+// Block a occupies the byte range [a·stride, (a+1)·stride) of the file;
+// live lengths are a RAM side table, exactly as in ArenaStorage. Two I/O
+// modes share the layout:
+//
+//   - FileMmap (default): the file is mapped read/write and transfers are
+//     memcpys against the mapping. The page cache absorbs traffic, so
+//     this measures a cached device — still real dirty-page writeback,
+//     but reads served from RAM after first touch.
+//   - FileDirect: transfers are ReadAt/WriteAt on a descriptor opened
+//     with O_DIRECT where the platform and filesystem support it, with
+//     stride, offsets and the transfer buffer aligned to directAlign so
+//     the kernel's direct-I/O constraints hold. Where O_DIRECT is
+//     unavailable (non-Linux, or tmpfs) the engine degrades to buffered
+//     positional I/O and reports Direct() == false.
+//
+// Storage I/O failures panic: the machine's Read/Write signatures are
+// error-free by design (an algorithm cannot meaningfully continue on a
+// half-read block), so a failing device is an assertion failure like an
+// out-of-range address, not a recoverable condition.
+
+// FileMode selects how FileStorage moves bytes between RAM and the file.
+type FileMode int
+
+const (
+	// FileMmap maps the file and serves transfers as memcpys.
+	FileMmap FileMode = iota
+	// FileDirect uses positional read/write syscalls, with O_DIRECT when
+	// the platform and filesystem support it.
+	FileDirect
+)
+
+// String returns "mmap" or "direct".
+func (m FileMode) String() string {
+	if m == FileMmap {
+		return "mmap"
+	}
+	return "direct"
+}
+
+// itemSize is the on-disk size of one Item: two little-endian-native
+// int64s. The file format is the in-memory representation, so the file is
+// scratch external memory for one run on one machine, not an interchange
+// format.
+const itemSize = int(unsafe.Sizeof(Item{}))
+
+// directAlign is the slot alignment of the direct mode: 4096 covers the
+// logical block size of every common device and the page-alignment
+// O_DIRECT wants for buffers and offsets.
+const directAlign = 4096
+
+// FileStorage is the file-backed engine. It is open from construction;
+// Close releases the mapping and descriptor (and removes the file when
+// the engine owns it, as registry-built temp engines do).
+type FileStorage struct {
+	f    *os.File
+	path string
+	own  bool // remove path on Close
+
+	b      int   // block capacity in items
+	stride int64 // bytes per block slot in the file
+	lens   []int32
+
+	useMmap bool
+	direct  bool // O_DIRECT actually engaged
+	capBlk  int  // block slots the file is currently sized for
+	mm      []byte
+	xfer    []byte // aligned full-stride transfer buffer (non-mmap path)
+	closed  bool
+}
+
+// NewFileStorage creates (truncating) the file at path and returns an
+// open engine over it for blocks of at most blockSize items. The caller
+// keeps ownership of the path: Close releases the descriptor but leaves
+// the file behind.
+func NewFileStorage(path string, blockSize int, mode FileMode) (*FileStorage, error) {
+	if blockSize < 1 {
+		return nil, fmt.Errorf("aem: NewFileStorage(%q, %d): need blockSize ≥ 1", path, blockSize)
+	}
+	s := &FileStorage{path: path, b: blockSize}
+	s.stride = int64(blockSize * itemSize)
+	switch mode {
+	case FileMmap:
+		s.useMmap = mmapSupported
+	case FileDirect:
+		// Direct transfers must be directAlign-sized and -aligned, so
+		// every slot is padded to the alignment; small-B machines trade
+		// (sparse) file space for legal O_DIRECT transfers.
+		s.stride = (s.stride + directAlign - 1) / directAlign * directAlign
+	default:
+		return nil, fmt.Errorf("aem: NewFileStorage(%q): unknown mode %d", path, int(mode))
+	}
+
+	flags := os.O_RDWR | os.O_CREATE | os.O_TRUNC
+	var err error
+	if mode == FileDirect && directOpenFlag != 0 {
+		s.f, err = os.OpenFile(path, flags|directOpenFlag, 0o644)
+		s.direct = err == nil
+	}
+	if s.f == nil {
+		// Buffered fallback: first open attempt, or the filesystem (e.g.
+		// tmpfs) rejected O_DIRECT.
+		s.f, err = os.OpenFile(path, flags, 0o644)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("aem: NewFileStorage: %w", err)
+	}
+	if !s.useMmap {
+		// Aligned scratch buffer for the positional path: over-allocate
+		// and slice to a directAlign boundary so O_DIRECT accepts it.
+		raw := make([]byte, s.stride+directAlign)
+		off := directAlign - int(uintptr(unsafe.Pointer(&raw[0]))%directAlign)
+		s.xfer = raw[off : off+int(s.stride)]
+	}
+	return s, nil
+}
+
+// NewTempFileStorage creates an engine over a fresh temp file in dir
+// (os.TempDir() when dir is empty) that is removed on Close — the
+// construction the engine registry and the harness pool use, so a grid
+// point's external memory vanishes with the point.
+func NewTempFileStorage(dir string, blockSize int, mode FileMode) (*FileStorage, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "aem-file-*.em")
+	if err != nil {
+		return nil, fmt.Errorf("aem: NewTempFileStorage: %w", err)
+	}
+	path := f.Name()
+	f.Close()
+	s, err := NewFileStorage(path, blockSize, mode)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	s.own = true
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *FileStorage) Path() string { return s.path }
+
+// Direct reports whether O_DIRECT transfers actually engaged (false in
+// mmap mode, on non-Linux platforms, and on filesystems that reject it).
+func (s *FileStorage) Direct() bool { return s.direct }
+
+// Mapped reports whether the engine serves transfers through a mapping.
+func (s *FileStorage) Mapped() bool { return s.useMmap }
+
+// BlockSize returns the engine's fixed per-block item capacity, letting
+// NewWithStorage reject machines whose B exceeds it.
+func (s *FileStorage) BlockSize() int { return s.b }
+
+// Stride returns the byte span of one block slot in the file.
+func (s *FileStorage) Stride() int64 { return s.stride }
+
+// Alloc implements Storage. Growing is an ftruncate (sparse, so untouched
+// slots cost no disk) plus, in mmap mode, a remap; capacity doubles so
+// steady-state allocation is amortized O(1) remaps.
+func (s *FileStorage) Alloc(count int) Addr {
+	s.mustOpen("Alloc")
+	base := Addr(len(s.lens))
+	s.lens = append(s.lens, make([]int32, count)...)
+	if need := len(s.lens); need > s.capBlk {
+		capBlk := s.capBlk * 2
+		if capBlk < need {
+			capBlk = need
+		}
+		if capBlk < 16 {
+			capBlk = 16
+		}
+		s.grow(capBlk)
+	}
+	return base
+}
+
+// grow resizes the file to capBlk slots and refreshes the mapping.
+func (s *FileStorage) grow(capBlk int) {
+	if err := s.unmap(); err != nil {
+		panic(fmt.Sprintf("aem: file engine %s: unmap before grow: %v", s.path, err))
+	}
+	if err := s.f.Truncate(int64(capBlk) * s.stride); err != nil {
+		panic(fmt.Sprintf("aem: file engine %s: grow to %d blocks: %v", s.path, capBlk, err))
+	}
+	s.capBlk = capBlk
+	if s.useMmap {
+		mm, err := mmapFile(s.f, int(int64(capBlk)*s.stride))
+		if err != nil {
+			panic(fmt.Sprintf("aem: file engine %s: map %d blocks: %v", s.path, capBlk, err))
+		}
+		s.mm = mm
+	}
+}
+
+// unmap drops the current mapping, if any.
+func (s *FileStorage) unmap() error {
+	if s.mm == nil {
+		return nil
+	}
+	mm := s.mm
+	s.mm = nil
+	return munmapFile(mm)
+}
+
+// NumBlocks implements Storage.
+func (s *FileStorage) NumBlocks() int { return len(s.lens) }
+
+// Len implements Storage.
+func (s *FileStorage) Len(a Addr) int { return int(s.lens[a]) }
+
+// ReadInto implements Storage.
+func (s *FileStorage) ReadInto(a Addr, dst []Item) []Item {
+	n := int(s.lens[a])
+	dst = sizedDst(dst, n)
+	if n == 0 {
+		return dst
+	}
+	off := int64(a) * s.stride
+	if s.useMmap {
+		copy(itemBytes(dst), s.mm[off:off+int64(n*itemSize)])
+		return dst
+	}
+	want := n * itemSize
+	span := want
+	if s.direct {
+		span = int(s.stride) // O_DIRECT length must stay aligned
+	}
+	if _, err := s.f.ReadAt(s.xfer[:span], off); err != nil {
+		panic(fmt.Sprintf("aem: file engine %s: read block %d: %v", s.path, a, err))
+	}
+	copy(itemBytes(dst), s.xfer[:want])
+	return dst
+}
+
+// Write implements Storage.
+func (s *FileStorage) Write(a Addr, items []Item) {
+	s.mustOpen("Write")
+	if len(items) > s.b {
+		panic(fmt.Sprintf("aem: file Write(%d): %d items exceed block capacity %d", a, len(items), s.b))
+	}
+	off := int64(a) * s.stride
+	n := len(items) * itemSize
+	if s.useMmap {
+		copy(s.mm[off:], itemBytes(items))
+	} else {
+		span := n
+		if s.direct {
+			// Full-slot transfer: pad the tail with zeros rather than
+			// leak whatever the scratch buffer last held to disk.
+			span = int(s.stride)
+			for i := n; i < span; i++ {
+				s.xfer[i] = 0
+			}
+		}
+		copy(s.xfer, itemBytes(items))
+		if _, err := s.f.WriteAt(s.xfer[:span], off); err != nil {
+			panic(fmt.Sprintf("aem: file engine %s: write block %d: %v", s.path, a, err))
+		}
+	}
+	s.lens[a] = int32(len(items))
+}
+
+// Reset implements Storage: the Reset contract for a stateful engine is
+// truncate, not leak — the file shrinks to zero bytes, so a recycled
+// engine cannot serve (or keep paying disk for) a previous run's blocks.
+// The next Alloc re-extends the file; newly extended regions read as
+// zeros, which is exactly the fresh-engine behavior the conformance suite
+// demands.
+func (s *FileStorage) Reset() {
+	s.mustOpen("Reset")
+	if err := s.unmap(); err != nil {
+		panic(fmt.Sprintf("aem: file engine %s: unmap on Reset: %v", s.path, err))
+	}
+	if err := s.f.Truncate(0); err != nil {
+		panic(fmt.Sprintf("aem: file engine %s: truncate on Reset: %v", s.path, err))
+	}
+	s.lens = s.lens[:0]
+	s.capBlk = 0
+}
+
+// Caps implements Storage: data-bearing, persistent, and slot-aligned in
+// direct mode.
+func (s *FileStorage) Caps() StorageCaps {
+	align := 0
+	if !s.useMmap {
+		align = directAlign
+	}
+	return StorageCaps{RetainsData: true, Persistent: true, BlockAlign: align}
+}
+
+// Sync implements Storage: flush written blocks to the device. fsync
+// covers dirty pages of a shared mapping too, so both modes are durable
+// after Sync returns.
+func (s *FileStorage) Sync() error {
+	s.mustOpen("Sync")
+	return s.f.Sync()
+}
+
+// Close implements Storage: unmap, release the descriptor, and remove
+// the file when the engine owns it. Idempotent.
+func (s *FileStorage) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.unmap()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	if s.own {
+		if rerr := os.Remove(s.path); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+func (s *FileStorage) mustOpen(op string) {
+	if s.closed {
+		panic(fmt.Sprintf("aem: file engine %s: %s after Close", s.path, op))
+	}
+}
+
+// itemBytes reinterprets an Item slice as its backing bytes — the
+// transfer path's zero-copy bridge between the typed world and the file.
+func itemBytes(items []Item) []byte {
+	if len(items) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&items[0])), len(items)*itemSize)
+}

@@ -1,0 +1,25 @@
+//go:build !linux
+
+package aem
+
+import (
+	"errors"
+	"os"
+)
+
+// Portable fallback: no mapping and no O_DIRECT, so FileStorage serves
+// every mode through buffered positional reads and writes. The engine's
+// contract (and the conformance suite) is identical; only the transfer
+// mechanism differs.
+
+const mmapSupported = false
+
+const directOpenFlag = 0
+
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return nil, errors.New("aem: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error {
+	return errors.New("aem: mmap unsupported on this platform")
+}

@@ -56,10 +56,11 @@ type Machine struct {
 
 	// Concrete-engine fast paths, resolved by one type switch at
 	// construction so the per-I/O hot path never pays interface dispatch
-	// for the built-in engines. At most one is non-nil; both nil means an
+	// for the built-in engines. At most one is non-nil; all nil means an
 	// external engine served through the Storage interface.
 	arena    *ArenaStorage
 	counting *CountingStorage
+	file     *FileStorage
 
 	zeros []Item // lazily built zero block for ScanWrites on data engines
 }
@@ -93,6 +94,8 @@ func NewWithStorage(cfg Config, store Storage) *Machine {
 		ma.arena = s
 	case *CountingStorage:
 		ma.counting = s
+	case *FileStorage:
+		ma.file = s
 	}
 	ma.phaseSlot = ma.phases.slot("main")
 	ma.phase = "main"
@@ -128,6 +131,15 @@ func (ma *Machine) Recycle(cfg Config) {
 
 // Config returns the machine parameters.
 func (ma *Machine) Config() Config { return ma.cfg }
+
+// Close releases the machine's storage engine. A machine over a stateful
+// engine (the file engine's descriptor, mapping and temp file) must be
+// closed after use exactly like an os.File; over RAM engines Close is a
+// no-op. The machine is unusable afterwards.
+func (ma *Machine) Close() error { return ma.store.Close() }
+
+// Sync flushes the storage engine's written blocks to its backing device.
+func (ma *Machine) Sync() error { return ma.store.Sync() }
 
 // Storage returns the machine's storage engine.
 func (ma *Machine) Storage() Storage { return ma.store }
@@ -233,6 +245,9 @@ func (ma *Machine) ReadInto(a Addr, dst []Item) []Item {
 	if ma.counting != nil {
 		return ma.counting.ReadInto(a, dst)
 	}
+	if ma.file != nil {
+		return ma.file.ReadInto(a, dst)
+	}
 	return ma.store.ReadInto(a, dst)
 }
 
@@ -257,6 +272,10 @@ func (ma *Machine) storeWrite(a Addr, items []Item) {
 	}
 	if ma.counting != nil {
 		ma.counting.Write(a, items)
+		return
+	}
+	if ma.file != nil {
+		ma.file.Write(a, items)
 		return
 	}
 	ma.store.Write(a, items)
@@ -364,6 +383,9 @@ func (ma *Machine) PeekInto(a Addr, dst []Item) []Item {
 	if ma.counting != nil {
 		return ma.counting.ReadInto(a, dst)
 	}
+	if ma.file != nil {
+		return ma.file.ReadInto(a, dst)
+	}
 	return ma.store.ReadInto(a, dst)
 }
 
@@ -447,6 +469,9 @@ func (ma *Machine) nblocks() int {
 	}
 	if ma.counting != nil {
 		return len(ma.counting.lens)
+	}
+	if ma.file != nil {
+		return len(ma.file.lens)
 	}
 	return ma.store.NumBlocks()
 }

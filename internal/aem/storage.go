@@ -16,6 +16,13 @@ import "fmt"
 // Implementations may assume addresses are in range [0, NumBlocks()) and
 // len(items) ≤ the machine's block size B: the Machine validates both
 // before calling.
+//
+// Engines have an explicit lifecycle: constructed open, Reset between
+// runs, Close when done. RAM engines implement Sync and Close as no-ops;
+// for engines that own real resources (the file engine's descriptor,
+// mapping and temp file) Close is the only way those resources are
+// released, so owners — harness.PooledMachine, CLIs, tests — must call
+// it (via Machine.Close) exactly like an os.File.
 type Storage interface {
 	// Alloc reserves count fresh, empty blocks and returns the address of
 	// the first. Blocks are never freed; addresses are dense and stable.
@@ -38,12 +45,52 @@ type Storage interface {
 	Write(a Addr, items []Item)
 
 	// Reset returns the engine to its freshly constructed state — zero
-	// blocks allocated — while retaining its internal capacity, so a
-	// pooled machine's next run allocates nothing in steady state. After
-	// Reset the engine must be indistinguishable from a new one: Alloc
-	// hands out empty blocks and data-bearing engines return zeroed
+	// blocks allocated — while retaining reusable capacity, so a pooled
+	// machine's next run allocates nothing in steady state. Engines
+	// holding external resources must truncate rather than leak: after
+	// Reset a file engine's backing file holds no prior run's blocks.
+	// After Reset the engine must be indistinguishable from a new one:
+	// Alloc hands out empty blocks and data-bearing engines return zeroed
 	// contents, never a previous run's values.
 	Reset()
+
+	// Caps reports the engine's capabilities; callers use it to decide
+	// which programs an engine can serve (data retention) and how to
+	// manage its lifetime (persistence), instead of switching on names.
+	Caps() StorageCaps
+
+	// Sync flushes written blocks to the backing device. A no-op for RAM
+	// engines; the file engine flushes its descriptor, so a subsequent
+	// crash cannot tear previously synced blocks.
+	Sync() error
+
+	// Close releases every resource the engine owns; the engine is
+	// unusable afterwards. Close is idempotent. RAM engines no-op.
+	Close() error
+}
+
+// StorageCaps are an engine's capability flags. They generalize what used
+// to be name-switches: "is this the counting engine?" becomes
+// !RetainsData, and "does this machine need closing?" becomes Persistent.
+type StorageCaps struct {
+	// RetainsData reports whether reads return previously written values.
+	// The counting engine sets it false; only data-oblivious programs
+	// (whose I/O schedule never branches on block contents) may run
+	// without data retention.
+	RetainsData bool
+
+	// Persistent reports whether blocks live outside process memory, on a
+	// backing device whose transfer time wall-clock can measure. A
+	// persistent engine is stateful: it must be owned by exactly one
+	// machine at a time and closed after use, never shared through a
+	// keyed pool.
+	Persistent bool
+
+	// BlockAlign is the byte alignment of block slots on the backing
+	// device (0 for RAM engines and unaligned file modes). The direct-I/O
+	// file mode aligns slots so O_DIRECT transfers meet the kernel's
+	// offset and length requirements.
+	BlockAlign int
 }
 
 // sizedDst returns dst resized to hold n items, allocating only when the
@@ -104,6 +151,15 @@ func (s *SliceStorage) Write(a Addr, items []Item) {
 func (s *SliceStorage) Reset() {
 	s.blocks = s.blocks[:0]
 }
+
+// Caps implements Storage: data-bearing, RAM-resident.
+func (s *SliceStorage) Caps() StorageCaps { return StorageCaps{RetainsData: true} }
+
+// Sync implements Storage; RAM engines have nothing to flush.
+func (s *SliceStorage) Sync() error { return nil }
+
+// Close implements Storage; RAM engines own no external resources.
+func (s *SliceStorage) Close() error { return nil }
 
 // ArenaStorage stores every block in one contiguous arena: block a
 // occupies the B-item stride data[a·B : (a+1)·B], with the live length in
@@ -172,6 +228,15 @@ func (s *ArenaStorage) Reset() {
 	s.lens = s.lens[:0]
 }
 
+// Caps implements Storage: data-bearing, RAM-resident.
+func (s *ArenaStorage) Caps() StorageCaps { return StorageCaps{RetainsData: true} }
+
+// Sync implements Storage; RAM engines have nothing to flush.
+func (s *ArenaStorage) Sync() error { return nil }
+
+// Close implements Storage; RAM engines own no external resources.
+func (s *ArenaStorage) Close() error { return nil }
+
 // CountingStorage moves no data at all: it tracks only per-block lengths,
 // so reads return correctly sized but zeroed blocks. It exists for pure
 // cost-accounting runs — the paper's lower-bound sweeps need Q = Qr + ω·Qw,
@@ -221,6 +286,16 @@ func (s *CountingStorage) Write(a Addr, items []Item) {
 func (s *CountingStorage) Reset() {
 	s.lens = s.lens[:0]
 }
+
+// Caps implements Storage: no data plane at all — RetainsData is false,
+// which is what prunes this engine from value-branching grid points.
+func (s *CountingStorage) Caps() StorageCaps { return StorageCaps{} }
+
+// Sync implements Storage; RAM engines have nothing to flush.
+func (s *CountingStorage) Sync() error { return nil }
+
+// Close implements Storage; RAM engines own no external resources.
+func (s *CountingStorage) Close() error { return nil }
 
 // setLens records the lengths of a run of sequentially written blocks —
 // every block in [a, a+blocks) holds full items except the last, which

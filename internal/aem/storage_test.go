@@ -6,12 +6,24 @@ import (
 )
 
 // engines enumerates every storage backend under its conformance name.
-// hasData is false for backends that track lengths but not values.
-func engines(blockSize int) []struct {
+// hasData is false for backends that track lengths but not values. The
+// file engines are backed by temp files under t's temp dir and closed by
+// t.Cleanup, so every conformance test runs against real files too.
+func engines(t testing.TB, blockSize int) []struct {
 	name    string
 	make    func() Storage
 	hasData bool
 } {
+	fileEngine := func(mode FileMode) func() Storage {
+		return func() Storage {
+			s, err := NewTempFileStorage(t.TempDir(), blockSize, mode)
+			if err != nil {
+				t.Fatalf("file engine: %v", err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return s
+		}
+	}
 	return []struct {
 		name    string
 		make    func() Storage
@@ -20,6 +32,8 @@ func engines(blockSize int) []struct {
 		{"slice", func() Storage { return NewSliceStorage() }, true},
 		{"arena", func() Storage { return NewArenaStorage(blockSize) }, true},
 		{"counting", func() Storage { return NewCountingStorage() }, false},
+		{"file", fileEngine(FileMmap), true},
+		{"file-direct", fileEngine(FileDirect), true},
 	}
 }
 
@@ -30,7 +44,7 @@ func engines(blockSize int) []struct {
 // data-bearing backends; the counting backend must return zeroed items.
 func TestStorageConformance(t *testing.T) {
 	const b = 4
-	for _, eng := range engines(b) {
+	for _, eng := range engines(t, b) {
 		t.Run(eng.name, func(t *testing.T) {
 			s := eng.make()
 			if s.NumBlocks() != 0 {
@@ -134,7 +148,7 @@ func TestMachineOnEveryBackend(t *testing.T) {
 	}
 
 	var ref *Machine
-	for _, eng := range engines(cfg.B) {
+	for _, eng := range engines(t, cfg.B) {
 		ma := NewWithStorage(cfg, eng.make())
 		script(ma)
 		if ref == nil {
@@ -172,7 +186,7 @@ func TestVectorPipelineOnDataBackends(t *testing.T) {
 		data  []Item
 	}
 	outcomes := map[string]outcome{}
-	for _, eng := range engines(cfg.B) {
+	for _, eng := range engines(t, cfg.B) {
 		ma := NewWithStorage(cfg, eng.make())
 		v := Load(ma, items)
 		out := NewVector(ma, n)
@@ -198,10 +212,11 @@ func TestVectorPipelineOnDataBackends(t *testing.T) {
 			}
 		}
 	}
-	if outcomes["slice"].stats != outcomes["arena"].stats ||
-		outcomes["slice"].stats != outcomes["counting"].stats {
-		t.Errorf("backends disagree on I/O counts: slice=%+v arena=%+v counting=%+v",
-			outcomes["slice"].stats, outcomes["arena"].stats, outcomes["counting"].stats)
+	for name, out := range outcomes {
+		if out.stats != outcomes["slice"].stats {
+			t.Errorf("backends disagree on I/O counts: %s=%+v slice=%+v",
+				name, out.stats, outcomes["slice"].stats)
+		}
 	}
 	want := Stats{Reads: int64(cfg.BlocksOf(n)), Writes: int64(cfg.BlocksOf(n))}
 	if outcomes["slice"].stats != want {
@@ -236,7 +251,7 @@ func TestArenaZeroAllocReadPath(t *testing.T) {
 // after construction, scanning allocates nothing regardless of backend.
 func TestScannerZeroAllocSteadyState(t *testing.T) {
 	cfg := Config{M: 64, B: 8, Omega: 4}
-	for _, eng := range engines(cfg.B) {
+	for _, eng := range engines(t, cfg.B) {
 		t.Run(eng.name, func(t *testing.T) {
 			ma := NewWithStorage(cfg, eng.make())
 			v := Load(ma, make([]Item, 1024))
@@ -284,7 +299,7 @@ func TestArenaOversizedWritePanics(t *testing.T) {
 // enough blocks to force arena regrowth, then verifies every block.
 func TestBackendGrowth(t *testing.T) {
 	const b = 4
-	for _, eng := range engines(b) {
+	for _, eng := range engines(t, b) {
 		t.Run(eng.name, func(t *testing.T) {
 			s := eng.make()
 			var want [][]Item

@@ -1,0 +1,83 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file closes the loop between the model's ω and a device's ω. The
+// AEM charges Q = Qr + ω·Qw with ω configured a priori; a file-backed run
+// measures real wall time per grid point. Regressing wall time on the
+// measured (Qr, Qw) pair — wall ≈ α·Qr + β·Qw through the origin — gives
+// the per-read and per-write costs the device actually exhibited, and
+// their ratio β/α is the effective ω of the hardware. The paper's model
+// is only as predictive as this ratio is stable, which is exactly what
+// EXP-IO1 reports next to the configured ω.
+
+// OmegaFit is the result of fitting wall ≈ Alpha·Qr + Beta·Qw.
+type OmegaFit struct {
+	Alpha float64 // fitted cost per block read (same unit as wall input)
+	Beta  float64 // fitted cost per block write
+	Omega float64 // Beta / Alpha: the device's effective write/read ratio
+	R2    float64 // coefficient of determination of the (no-intercept) fit
+}
+
+// FitOmega least-squares fits wall[i] ≈ α·qr[i] + β·qw[i] (no intercept)
+// and returns the fit with Omega = β/α. The three slices must have equal
+// length ≥ 2, and the (qr, qw) columns must not be collinear — a grid
+// whose points all share one read/write ratio determines α·r+β but not α
+// and β separately, so callers should sweep algorithms with different
+// read/write mixes (e.g. the ω-adaptive mergesort against the classic
+// one).
+func FitOmega(qr, qw, wall []float64) (OmegaFit, error) {
+	n := len(wall)
+	if len(qr) != n || len(qw) != n {
+		return OmegaFit{}, fmt.Errorf("bounds: FitOmega column lengths differ: %d/%d/%d", len(qr), len(qw), n)
+	}
+	if n < 2 {
+		return OmegaFit{}, fmt.Errorf("bounds: FitOmega needs ≥ 2 points, got %d", n)
+	}
+
+	// Normal equations for the 2-parameter no-intercept model:
+	//   [Σqr²   Σqr·qw] [α]   [Σqr·wall]
+	//   [Σqr·qw Σqw²  ] [β] = [Σqw·wall]
+	var srr, sww, srw, srt, swt float64
+	for i := 0; i < n; i++ {
+		srr += qr[i] * qr[i]
+		sww += qw[i] * qw[i]
+		srw += qr[i] * qw[i]
+		srt += qr[i] * wall[i]
+		swt += qw[i] * wall[i]
+	}
+	det := srr*sww - srw*srw
+	// Relative conditioning guard: det vanishes (up to rounding) exactly
+	// when the qr and qw columns are collinear.
+	if det <= 1e-12*srr*sww || srr == 0 || sww == 0 {
+		return OmegaFit{}, fmt.Errorf("bounds: FitOmega design is collinear (every point has the same read/write mix); sweep algorithms with different mixes")
+	}
+	alpha := (srt*sww - swt*srw) / det
+	beta := (swt*srr - srt*srw) / det
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsNaN(beta) {
+		return OmegaFit{}, fmt.Errorf("bounds: FitOmega fit degenerate (alpha=%g, beta=%g)", alpha, beta)
+	}
+
+	// R² against the mean-model baseline, the conventional summary even
+	// for a no-intercept fit.
+	var mean float64
+	for _, w := range wall {
+		mean += w
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		r := wall[i] - (alpha*qr[i] + beta*qw[i])
+		ssRes += r * r
+		d := wall[i] - mean
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return OmegaFit{Alpha: alpha, Beta: beta, Omega: beta / alpha, R2: r2}, nil
+}

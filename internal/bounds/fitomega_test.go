@@ -1,0 +1,99 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthetic builds n points with wall = alpha·qr + beta·qw plus optional
+// noise, mixing two read/write ratios so the design is well-conditioned.
+func synthetic(n int, alpha, beta, noise float64, rng *rand.Rand) (qr, qw, wall []float64) {
+	qr = make([]float64, n)
+	qw = make([]float64, n)
+	wall = make([]float64, n)
+	for i := range qr {
+		scale := float64(1 + i*37)
+		if i%2 == 0 {
+			qr[i], qw[i] = 3*scale, scale // read-heavy points
+		} else {
+			qr[i], qw[i] = scale, scale // balanced points
+		}
+		wall[i] = alpha*qr[i] + beta*qw[i]
+		if noise > 0 {
+			wall[i] *= 1 + noise*(2*rng.Float64()-1)
+		}
+	}
+	return qr, qw, wall
+}
+
+func TestFitOmegaExactRecovery(t *testing.T) {
+	for _, tc := range []struct{ alpha, beta float64 }{
+		{100, 100}, {100, 300}, {50, 800}, {1, 16},
+	} {
+		qr, qw, wall := synthetic(12, tc.alpha, tc.beta, 0, nil)
+		fit, err := FitOmega(qr, qw, wall)
+		if err != nil {
+			t.Fatalf("alpha=%v beta=%v: %v", tc.alpha, tc.beta, err)
+		}
+		want := tc.beta / tc.alpha
+		if math.Abs(fit.Omega-want) > 1e-9*want {
+			t.Errorf("fitted ω = %v, want %v", fit.Omega, want)
+		}
+		if math.Abs(fit.Alpha-tc.alpha) > 1e-6 || math.Abs(fit.Beta-tc.beta) > 1e-6 {
+			t.Errorf("coefficients (%v, %v), want (%v, %v)", fit.Alpha, fit.Beta, tc.alpha, tc.beta)
+		}
+		if fit.R2 < 1-1e-12 {
+			t.Errorf("noise-free fit has R² = %v", fit.R2)
+		}
+	}
+}
+
+// TestFitOmegaMonotone pins the regression's defining property for the
+// experiment: as the true per-write cost k grows in wall = Qr + k·Qw, the
+// fitted ω must grow with it — even under multiplicative noise.
+func TestFitOmegaMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170724))
+	prev := -math.MaxFloat64
+	for _, k := range []float64{1, 2, 4, 8, 16, 32} {
+		qr, qw, wall := synthetic(40, 120, 120*k, 0.05, rng)
+		fit, err := FitOmega(qr, qw, wall)
+		if err != nil {
+			t.Fatalf("k=%v: %v", k, err)
+		}
+		if !(fit.Omega > prev) {
+			t.Errorf("fitted ω %v at k=%v not above previous %v", fit.Omega, k, prev)
+		}
+		if math.Abs(fit.Omega-k) > 0.3*k {
+			t.Errorf("fitted ω %v far from true %v under 5%% noise", fit.Omega, k)
+		}
+		if !(fit.Omega > 0) || math.IsInf(fit.Omega, 0) {
+			t.Errorf("fitted ω %v not finite positive", fit.Omega)
+		}
+		prev = fit.Omega
+	}
+}
+
+func TestFitOmegaRejectsDegenerateDesigns(t *testing.T) {
+	// Too few points.
+	if _, err := FitOmega([]float64{1}, []float64{1}, []float64{2}); err == nil {
+		t.Error("accepted a 1-point fit")
+	}
+	// Mismatched columns.
+	if _, err := FitOmega([]float64{1, 2}, []float64{1}, []float64{2, 3}); err == nil {
+		t.Error("accepted ragged columns")
+	}
+	// Collinear: every point has the same read/write mix, so α and β are
+	// not separately identifiable.
+	qr := []float64{10, 20, 40, 80}
+	qw := []float64{5, 10, 20, 40}
+	wall := []float64{100, 200, 400, 800}
+	if _, err := FitOmega(qr, qw, wall); err == nil {
+		t.Error("accepted a collinear design")
+	}
+	// All-zero columns.
+	z := []float64{0, 0, 0}
+	if _, err := FitOmega(z, z, []float64{1, 2, 3}); err == nil {
+		t.Error("accepted an all-zero design")
+	}
+}

@@ -1,6 +1,6 @@
-// Package cli implements the aem multitool: one binary, nine subcommands
-// (bench, merge, serve, work, gate, dict, sort, spmxv, trace) sharing
-// flag parsing, machine validation and output plumbing. The historical
+// Package cli implements the aem multitool: one binary, ten subcommands
+// (bench, merge, serve, work, gate, engines, dict, sort, spmxv, trace)
+// sharing flag parsing, machine validation and output plumbing. The historical
 // standalone binaries (aembench, aemdict, …) are thin deprecated wrappers
 // over the same implementations via RunDeprecated.
 package cli
@@ -29,6 +29,7 @@ func Commands() []Command {
 		{"serve", "coordinate an elastic fleet: lease grid points to `aem work` workers over HTTP", serveCmd},
 		{"work", "run grid points for an `aem serve` coordinator, or finish a residual spec", workCmd},
 		{"gate", "compare a timed bench run's points/sec against a committed baseline", gateCmd},
+		{"engines", "list the storage-engine registry with capability flags", enginesCmd},
 		{"dict", "drive a dictionary op stream: buffer tree vs B-tree vs bounds", dictCmd},
 		{"sort", "sort a generated workload and compare against the paper's bounds", sortCmd},
 		{"spmxv", "sparse matrix × dense vector with both Section 5 algorithms", spmxvCmd},

@@ -21,8 +21,8 @@ import (
 //
 // Scenarios: uniform | zipf | sortedburst | deleteheavy.
 // Implementations: both | buffertree | btree.
-// Engines: slice | arena (the data-free counting engine cannot run a
-// value-dependent dictionary).
+// Engines: any registered data-retaining engine (see `aem engines`);
+// engines without a data plane cannot run a value-dependent dictionary.
 func dictCmd(prog string, args []string) int {
 	fs := flag.NewFlagSet(prog, flag.ExitOnError)
 	var (
@@ -31,7 +31,7 @@ func dictCmd(prog string, args []string) int {
 		machine  = machineFlags(fs, 256, 16, 16)
 		scenario = fs.String("scenario", "uniform", "workload: uniform | zipf | sortedburst | deleteheavy")
 		impl     = fs.String("impl", "both", "dictionary: both | buffertree | btree")
-		engine   = fs.String("engine", "slice", "storage engine: slice | arena")
+		engine   = fs.String("engine", "slice", "storage engine: "+strings.Join(aem.EngineNames(), " | "))
 		seed     = fs.Uint64("seed", 1, "workload seed")
 		phases   = fs.Bool("phases", false, "print per-phase I/O for the buffer tree")
 	)
@@ -47,17 +47,15 @@ func dictCmd(prog string, args []string) int {
 		fail(prog, "unknown scenario %q", *scenario)
 		return 2
 	}
-	newEngine := func() aem.Storage {
-		switch *engine {
-		case "slice":
-			return aem.NewSliceStorage()
-		case "arena":
-			return aem.NewArenaStorage(cfg.B)
-		}
-		return nil
+	eng, known := aem.EngineByName(*engine)
+	if !known {
+		// Surface the registry's canonical error: it lists the valid names.
+		_, err := aem.StorageByName(*engine, cfg.B)
+		fail(prog, "%v", err)
+		return 2
 	}
-	if newEngine() == nil {
-		fail(prog, "unknown engine %q (counting cannot run a value-dependent dictionary)", *engine)
+	if !eng.Caps.RetainsData {
+		fail(prog, "engine %q has no data plane and cannot run a value-dependent dictionary", *engine)
 		return 2
 	}
 
@@ -89,7 +87,13 @@ func dictCmd(prog string, args []string) int {
 	}
 
 	for _, r := range rows {
-		ma := aem.NewWithStorage(cfg, newEngine())
+		stor, err := aem.StorageByName(*engine, cfg.B)
+		if err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+		ma := aem.NewWithStorage(cfg, stor)
+		defer ma.Close()
 		d := r.mk(ma)
 		results := d.Apply(ops)
 		st := ma.Stats()

@@ -23,6 +23,16 @@ import (
 //	aem bench -json -timing -exp EXP-MG1 > BENCH.json
 //	aem gate -bench BENCH.json -baseline testdata/throughput_baseline.json
 //	aem gate -bench BENCH.json -baseline ... -write-baseline   (re-pin)
+//	aem gate -bench BENCH.json -baseline ... -json >> BENCH.json
+//
+// The per-experiment ratio table is printed on pass and fail alike — the
+// trend matters even when nothing regressed. Under -json each comparison
+// additionally emits one machine-readable "type":"gate" record to stdout
+// (the human table moves to stderr), so appending the gate's verdict to
+// the bench artifact it judged makes successive BENCH_pr*.json artifacts
+// a diffable throughput trend; every wall_ns consumer (including this
+// gate) skips unknown typed records, so the appended file still merges,
+// gates and re-gates cleanly.
 //
 // Experiments measured but missing from the baseline are reported and
 // skipped (adding an experiment must not insta-fail CI); re-pin the
@@ -35,6 +45,7 @@ func gateCmd(prog string, args []string) int {
 		basePath  = fs.String("baseline", "", "committed baseline JSON to compare against (required)")
 		tol       = fs.Float64("tol", 3.0, "maximum tolerated ns/point slowdown factor vs the baseline")
 		write     = fs.Bool("write-baseline", false, "write the measured summaries to -baseline instead of comparing")
+		jsonOut   = fs.Bool("json", false, "emit one \"type\":\"gate\" JSON record per experiment to stdout (human table to stderr)")
 	)
 	fs.Parse(args)
 	if *basePath == "" {
@@ -80,29 +91,64 @@ func gateCmd(prog string, args []string) int {
 		fail(prog, "%v", err)
 		return 1
 	}
+	// Under -json the human table yields stdout to the records, so the
+	// records can be appended straight onto the bench artifact.
+	human := io.Writer(os.Stdout)
+	var enc *json.Encoder
+	if *jsonOut {
+		human = os.Stderr
+		enc = json.NewEncoder(os.Stdout)
+	}
 	failures := 0
 	for _, id := range order {
 		m := measured[id]
+		rec := gateRecord{Type: "gate", Experiment: id, Points: m.Points,
+			NSPerPoint: m.NSPerPoint, Tol: *tol, Verdict: "ok"}
 		b, ok := base.Experiments[id]
 		if !ok || b.NSPerPoint <= 0 {
-			fmt.Printf("%-10s %8.3f ms/point (%d points) — no baseline, skipped (re-pin with -write-baseline)\n",
+			rec.Verdict = "no-baseline"
+			fmt.Fprintf(human, "%-10s %8.3f ms/point (%d points) — no baseline, skipped (re-pin with -write-baseline)\n",
 				id, m.NSPerPoint/1e6, m.Points)
-			continue
+		} else {
+			rec.BaselineNSPerPoint = b.NSPerPoint
+			rec.Ratio = m.NSPerPoint / b.NSPerPoint
+			verdict := "ok"
+			if rec.Ratio > *tol {
+				rec.Verdict = "fail"
+				verdict = fmt.Sprintf("FAIL (> %gx tolerance)", *tol)
+				failures++
+			}
+			fmt.Fprintf(human, "%-10s %8.3f ms/point vs baseline %8.3f ms/point — %.2fx %s\n",
+				id, m.NSPerPoint/1e6, b.NSPerPoint/1e6, rec.Ratio, verdict)
 		}
-		ratio := m.NSPerPoint / b.NSPerPoint
-		verdict := "ok"
-		if ratio > *tol {
-			verdict = fmt.Sprintf("FAIL (> %gx tolerance)", *tol)
-			failures++
+		if enc != nil {
+			if err := enc.Encode(&rec); err != nil {
+				fail(prog, "%v", err)
+				return 1
+			}
 		}
-		fmt.Printf("%-10s %8.3f ms/point vs baseline %8.3f ms/point — %.2fx %s\n",
-			id, m.NSPerPoint/1e6, b.NSPerPoint/1e6, ratio, verdict)
 	}
 	if failures > 0 {
 		fail(prog, "%d experiment(s) exceeded the %gx throughput tolerance", failures, *tol)
 		return 1
 	}
 	return 0
+}
+
+// gateRecord is the machine-readable form of one gate comparison, emitted
+// under -json. Its "gate" type keeps it invisible to every wall_ns
+// consumer (readBenchTimings, `aem merge`), so gate records append onto
+// the bench artifact they judged and the file remains a valid timed
+// stream; successive per-PR artifacts then diff as a throughput trend.
+type gateRecord struct {
+	Type               string  `json:"type"` // "gate"
+	Experiment         string  `json:"experiment"`
+	Points             int     `json:"points"`
+	NSPerPoint         float64 `json:"ns_per_point"`
+	BaselineNSPerPoint float64 `json:"baseline_ns_per_point,omitempty"`
+	Ratio              float64 `json:"ratio,omitempty"`
+	Tol                float64 `json:"tol"`
+	Verdict            string  `json:"verdict"` // ok | fail | no-baseline
 }
 
 // throughputBaseline is the committed reference the gate compares against.

@@ -195,3 +195,101 @@ func TestGateRejectsUntimedInput(t *testing.T) {
 		t.Fatalf("untimed input exit %d, want 1", code)
 	}
 }
+
+// TestGateJSONRecords pins the -json trend surface: each comparison emits
+// one "type":"gate" record to stdout (the human table moves to stderr),
+// and the records are invisible to readBenchTimings — so appending them
+// onto the bench artifact they judged leaves a stream that still gates.
+func TestGateJSONRecords(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	if code, out := gateRun(t, benchLines(1_000_000, 1_000_000), "-baseline", base, "-write-baseline"); code != 0 {
+		t.Fatalf("write-baseline exit %d\n%s", code, out)
+	}
+	bp := filepath.Join(dir, "bench.json")
+	stream := benchLines(1_000_000, 4_000_000) // EXP-B regresses 4x
+	if err := os.WriteFile(bp, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	var human []byte
+	out := captureStdout(t, func() {
+		human = captureStderr(t, func() {
+			code = gateCmd("aem gate", []string{"-bench", bp, "-baseline", base, "-json"})
+		})
+	})
+	if code != 1 {
+		t.Fatalf("4x regression exit %d, want 1", code)
+	}
+	if !strings.Contains(string(human), "FAIL") {
+		t.Errorf("human table missing from stderr under -json:\n%s", human)
+	}
+	var recs []gateRecord
+	for i, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		var rec gateRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stdout line %d is not a JSON record: %v\n%s", i, err, line)
+		}
+		if rec.Type != "gate" {
+			t.Errorf("record %d type %q, want gate", i, rec.Type)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d gate records, want 2", len(recs))
+	}
+	if recs[0].Experiment != "EXP-A" || recs[0].Verdict != "ok" || recs[0].Ratio != 1 {
+		t.Errorf("EXP-A record %+v, want ok at 1.00x", recs[0])
+	}
+	if recs[1].Experiment != "EXP-B" || recs[1].Verdict != "fail" || recs[1].Ratio != 4 {
+		t.Errorf("EXP-B record %+v, want fail at 4.00x", recs[1])
+	}
+
+	// The trend artifact shape: bench stream + its gate records is still
+	// a valid timed stream — gate records don't enter timing aggregation.
+	appended := stream + string(out)
+	if code, out := gateRun(t, appended, "-baseline", base); code != 1 {
+		t.Errorf("appended artifact re-gates with exit %d, want the same verdict 1\n%s", code, out)
+	}
+	m, _, err := readBenchTimings(strings.NewReader(appended))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["EXP-A"].Points != 4 || m["EXP-B"].Points != 2 {
+		t.Errorf("gate records leaked into timing aggregation: %+v", m)
+	}
+}
+
+// TestGateNoBaselineRecordVerdict: experiments missing from the baseline
+// carry the no-baseline verdict in their record and never fail the gate.
+func TestGateNoBaselineRecordVerdict(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(base, []byte(`{"experiments":{"EXP-A":{"experiment":"EXP-A","points":4,"wall_ns":4000000,"ns_per_point":1000000,"points_per_sec":1000}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bp := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(bp, []byte(benchLines(1_000_000, 9_000_000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := captureStdout(t, func() {
+		captureStderr(t, func() {
+			code = gateCmd("aem gate", []string{"-bench", bp, "-baseline", base, "-json"})
+		})
+	})
+	if code != 0 {
+		t.Fatalf("no-baseline experiment failed the gate (exit %d)", code)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d records, want 2", len(lines))
+	}
+	var rec gateRecord
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Experiment != "EXP-B" || rec.Verdict != "no-baseline" || rec.Ratio != 0 {
+		t.Errorf("EXP-B record %+v, want no-baseline with no ratio", rec)
+	}
+}

@@ -24,23 +24,35 @@ import (
 // so the default `aem bench` output and its recorded goldens are
 // unaffected by their presence.
 func Aux() []*Spec {
-	return []*Spec{specBE1(), specBE2(), specMG1()}
+	return []*Spec{specBE1(), specBE2(), specMG1(), specIO1(), specIO2()}
 }
 
-// backendNames spans the storage-backend axis.
-var backendNames = Vals("slice", "arena", "counting")
+// backendNames spans the storage-backend axis: every registered engine.
+// The file engines appear through their mmap flavor; file-direct is
+// exercised by the EXP-IO sweeps, where its transfer path is the point.
+var backendNames = Vals("slice", "arena", "counting", "file")
 
-// backendMachine builds a machine on the named storage engine.
+// backendMachine builds a machine on the named storage engine via the
+// aem registry — the same constructor the CLI flag resolves through. An
+// unknown name inside a spec is an authoring bug, so it panics with the
+// registry's canonical error (which lists the valid names).
 func backendMachine(cfg aem.Config, name string) *aem.Machine {
-	switch name {
-	case "slice":
-		return aem.New(cfg)
-	case "arena":
-		return aem.NewWithStorage(cfg, aem.NewArenaStorage(cfg.B))
-	case "counting":
-		return aem.NewWithStorage(cfg, aem.NewCountingStorage())
+	st, err := aem.StorageByName(name, cfg.B)
+	if err != nil {
+		panic("harness: " + err.Error())
 	}
-	panic(fmt.Sprintf("harness: unknown storage backend %q", name))
+	return aem.NewWithStorage(cfg, st)
+}
+
+// backendServesData reports whether the named engine retains block
+// contents — the capability that decides grid pruning: an engine without
+// a data plane cannot serve any program whose I/O schedule branches on
+// values it reads back. Asking the registry (rather than matching the
+// name "counting") keeps the predicate correct for every future
+// counting-like engine.
+func backendServesData(name string) bool {
+	e, ok := aem.EngineByName(name)
+	return ok && e.Caps.RetainsData
 }
 
 // backendRow runs fn on the named backend and returns the standard
@@ -115,9 +127,9 @@ func specBE1() *Spec {
 			{Name: "alg", Values: Vals("mergesort", "em-mergesort", "samplesort", "heapsort", "smallsort")},
 			{Name: "backend", Values: backendNames},
 		},
-		// Comparison sorts branch on key values; the data-free counting
-		// engine cannot serve any of their points.
-		Skip:    func(p Point) bool { return p.Str("backend") == "counting" },
+		// Comparison sorts branch on key values; engines without a data
+		// plane (per registry caps) cannot serve any of their points.
+		Skip:    func(p Point) bool { return !backendServesData(p.Str("backend")) },
 		Columns: Cols("alg", "backend", "reads", "writes", "cost", "mem peak", "blocks"),
 		Derived: []DerivedColumn{backendEquality},
 		Point: func(p Point) Row {
@@ -167,11 +179,11 @@ func specBE2() *Spec {
 			{Name: "backend", Values: backendNames},
 		},
 		// The sort-based program orders elementary products by key value,
-		// so the data-free counting engine cannot serve its points; the
+		// so engines without a data plane cannot serve its points; the
 		// naive program's schedule is pure program knowledge (the
 		// conformation), so counting serves it.
 		Skip: func(p Point) bool {
-			return p.Str("backend") == "counting" && p.Str("alg") != "naive"
+			return !backendServesData(p.Str("backend")) && p.Str("alg") != "naive"
 		},
 		Columns: Cols("alg", "backend", "reads", "writes", "cost", "mem peak", "blocks"),
 		Derived: []DerivedColumn{backendEquality},

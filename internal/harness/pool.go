@@ -35,7 +35,19 @@ var machinePools sync.Map // poolKey → *sync.Pool of *aem.Machine
 // first call returns the machine, so a double release (an easy slip in a
 // defer-heavy point function) cannot put the same machine into the pool
 // twice and hand one arena to two concurrent grid points.
+//
+// Persistent engines (registry caps) never enter the shared pool: each
+// owns a backing file, and a `{engine, B}` string key would let two
+// concurrent grid points that happen to share the key alias one file.
+// Those machines are pooled by identity instead — this one point owns
+// this one engine — so release closes the engine (removing its temp
+// file) rather than recycling it.
 func PooledMachine(cfg aem.Config, backend string) (ma *aem.Machine, release func()) {
+	if e, ok := aem.EngineByName(backend); ok && e.Caps.Persistent {
+		ma = backendMachine(cfg, backend)
+		var once sync.Once
+		return ma, func() { once.Do(func() { ma.Close() }) }
+	}
 	key := poolKey{backend: backend, b: cfg.B}
 	entry, ok := machinePools.Load(key)
 	if !ok {

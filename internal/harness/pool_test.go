@@ -37,7 +37,8 @@ func poolWorkload(ma *aem.Machine, n int) Row {
 // freshly constructed machines, interleaved so pool hits actually occur,
 // and demands identical rows: pooling must be invisible in every cell.
 func TestPooledMachineMatchesFresh(t *testing.T) {
-	for _, backend := range []string{"slice", "arena", "counting"} {
+	t.Setenv(aem.FileDirEnv, t.TempDir())
+	for _, backend := range []string{"slice", "arena", "counting", "file", "file-direct"} {
 		t.Run(backend, func(t *testing.T) {
 			for round := 0; round < 4; round++ {
 				cfg := aem.Config{M: 64, B: 8, Omega: 1 + round}
@@ -45,7 +46,9 @@ func TestPooledMachineMatchesFresh(t *testing.T) {
 				ma, release := PooledMachine(cfg, backend)
 				got := poolWorkload(ma, n)
 				release()
-				want := poolWorkload(backendMachine(cfg, backend), n)
+				fresh := backendMachine(cfg, backend)
+				want := poolWorkload(fresh, n)
+				fresh.Close()
 				for c := range want {
 					if got[c] != want[c] {
 						t.Fatalf("round %d cell %d: pooled %v, fresh %v", round, c, got[c], want[c])
