@@ -12,6 +12,8 @@
 //	             finish an interrupted run (-residual file)
 //	aem gate     compare a timed run's points/sec against a baseline
 //	aem dict     dictionary op streams: buffer tree vs B-tree vs bounds
+//	aem dictload concurrent load against the sharded dictionary service:
+//	             throughput, p50/p99/max latency, worst flush stall
 //	aem sort     sorting workloads vs the paper's bounds
 //	aem spmxv    sparse matrix × dense vector, both Section 5 algorithms
 //	aem trace    record and analyze an algorithm's I/O trace

@@ -1,6 +1,7 @@
-// Package cli implements the aem multitool: one binary, ten subcommands
-// (bench, merge, serve, work, gate, engines, dict, sort, spmxv, trace)
-// sharing flag parsing, machine validation and output plumbing. The historical
+// Package cli implements the aem multitool: one binary, eleven
+// subcommands (bench, merge, serve, work, gate, engines, dict, dictload,
+// sort, spmxv, trace) sharing flag parsing, machine validation and output
+// plumbing. The historical
 // standalone binaries (aembench, aemdict, …) are thin deprecated wrappers
 // over the same implementations via RunDeprecated.
 package cli
@@ -31,6 +32,7 @@ func Commands() []Command {
 		{"gate", "compare a timed bench run's points/sec against a committed baseline", gateCmd},
 		{"engines", "list the storage-engine registry with capability flags", enginesCmd},
 		{"dict", "drive a dictionary op stream: buffer tree vs B-tree vs bounds", dictCmd},
+		{"dictload", "concurrent load against the sharded dictionary service: throughput, p50/p99/max, flush stalls", dictloadCmd},
 		{"sort", "sort a generated workload and compare against the paper's bounds", sortCmd},
 		{"spmxv", "sparse matrix × dense vector with both Section 5 algorithms", spmxvCmd},
 		{"trace", "record an algorithm's I/O trace and analyze its §4 rounds", traceCmd},

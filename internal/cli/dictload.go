@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/aem"
+	"repro/internal/dictsrv"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// dictloadCmd drives a concurrent op load against the sharded dictionary
+// service (internal/dictsrv) and reports throughput, per-op latency
+// percentiles, the worst flush stall, and the amortized Q accounting —
+// the serving-side view of the paper's write-buffering tradeoff, where
+// the Θ(ωM) root-buffer deferral shows up as tail latency.
+//
+//	aem dictload -ops 2000000 -gor 8 -shards 4 -omega 16
+//	aem dictload -scenario drift -engine arena -json
+//
+// Scenarios: uniform | zipf | sortedburst | deleteheavy | drift (default:
+// drift — the migrating-hot-set shape that keeps invalidating buffered
+// locality). Engines: any data-retaining engine (see `aem engines`).
+func dictloadCmd(prog string, args []string) int {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	var (
+		nOps     = fs.Int("ops", 1_000_000, "total operations across all goroutines")
+		gor      = fs.Int("gor", 8, "concurrent load goroutines")
+		shards   = fs.Int("shards", 4, "keyspace partitions (one machine + tree each)")
+		keyspace = fs.Int64("keyspace", 65536, "distinct-key domain size")
+		machine  = machineFlags(fs, 1024, 32, 16)
+		scenario = fs.String("scenario", "drift", "workload: uniform | zipf | sortedburst | deleteheavy | drift")
+		engine   = fs.String("engine", "slice", "storage engine: "+strings.Join(aem.EngineNames(), " | "))
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		maxBatch = fs.Int("maxbatch", 0, "group-commit batch cap (0 = service default)")
+		jsonOut  = fs.Bool("json", false, "emit one JSON report instead of the human summary")
+	)
+	fs.Parse(args)
+
+	cfg, err := machine()
+	if err != nil {
+		fail(prog, "%v", err)
+		return 2
+	}
+	sc, found := workload.ScenarioByName(*scenario)
+	if !found {
+		fail(prog, "unknown scenario %q", *scenario)
+		return 2
+	}
+	if *gor < 1 {
+		fail(prog, "-gor must be ≥ 1, got %d", *gor)
+		return 2
+	}
+
+	svc, err := dictsrv.New(dictsrv.Config{
+		Shards:   *shards,
+		Machine:  cfg,
+		Engine:   *engine,
+		KeyLo:    0,
+		KeyHi:    *keyspace,
+		MaxBatch: *maxBatch,
+	})
+	if err != nil {
+		fail(prog, "%v", err)
+		return 2
+	}
+	defer svc.Close()
+
+	streams := workload.DictStreams(*seed, sc, *gor, *nOps, *keyspace)
+	rep := dictsrv.RunLoad(svc, streams)
+	svc.Flush()
+	st := svc.Stats()
+	lat := harness.SummarizeLatencies(rep.LatencyNS)
+
+	if *jsonOut {
+		out := struct {
+			Type       string  `json:"type"` // "dictload"
+			Scenario   string  `json:"scenario"`
+			Engine     string  `json:"engine"`
+			Shards     int     `json:"shards"`
+			Goroutines int     `json:"goroutines"`
+			Ops        int64   `json:"ops"`
+			WallNS     int64   `json:"wall_ns"`
+			OpsPerSec  float64 `json:"ops_per_sec"`
+			P50NS      int64   `json:"p50_ns"`
+			P99NS      int64   `json:"p99_ns"`
+			MaxNS      int64   `json:"max_ns"`
+			MaxStallNS int64   `json:"max_stall_ns"`
+			Flushes    int64   `json:"flushes"`
+			Reads      int64   `json:"reads"`
+			Writes     int64   `json:"writes"`
+			SnapReads  int64   `json:"snap_reads"`
+			Cost       int64   `json:"cost"`
+			CostPerOp  float64 `json:"cost_per_op"`
+		}{
+			Type: "dictload", Scenario: sc.String(), Engine: *engine,
+			Shards: *shards, Goroutines: rep.Goroutines,
+			Ops: rep.Ops, WallNS: rep.WallNS, OpsPerSec: rep.OpsPerSec(),
+			P50NS: lat.P50NS, P99NS: lat.P99NS, MaxNS: lat.MaxNS,
+			MaxStallNS: st.MaxFlushNS, Flushes: st.Flushes,
+			Reads: st.Reads, Writes: st.Writes, SnapReads: st.SnapReads,
+			Cost: st.Cost, CostPerOp: float64(st.Cost) / float64(rep.Ops),
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(&out); err != nil {
+			fail(prog, "%v", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Printf("service      %d shard(s) of (M=%d, B=%d, ω=%d)-AEM on the %s engine, keyspace %d\n",
+		*shards, cfg.M, cfg.B, cfg.Omega, *engine, *keyspace)
+	fmt.Printf("load         %d ops from %d goroutine(s), %s workload (seed %d): %d updates / %d lookups (%d hits) / %d scans\n",
+		rep.Ops, rep.Goroutines, sc, *seed, rep.Updates, rep.Lookups, rep.Hits, rep.Scans)
+	fmt.Printf("throughput   %.0f ops/sec (%s wall)\n", rep.OpsPerSec(), harness.FmtNS(rep.WallNS))
+	fmt.Printf("latency      p50 %s   p99 %s   max %s\n",
+		harness.FmtNS(lat.P50NS), harness.FmtNS(lat.P99NS), harness.FmtNS(lat.MaxNS))
+	fmt.Printf("stalls       %d flush section(s), worst %s\n", st.Flushes, harness.FmtNS(st.MaxFlushNS))
+	fmt.Printf("accounting   %d reads + %d snapshot reads + ω·%d writes = Q %d (%.2f per op)\n",
+		st.Reads, st.SnapReads, st.Writes, st.Cost, float64(st.Cost)/float64(rep.Ops))
+	return 0
+}

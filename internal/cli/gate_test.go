@@ -184,6 +184,52 @@ func TestGateAcceptsShardStreams(t *testing.T) {
 	}
 }
 
+// TestGateServingExperimentsAgainstCommittedBaseline pins the serving
+// sweeps' gate integration: EXP-L1/EXP-L2 entries live in the committed
+// testdata baseline, and their point records gate through
+// readBenchTimings unchanged whether they arrive as untyped bench rows
+// or as "type":"point" shard/fleet records — the satellite claim that
+// the new experiments ride the existing gate machinery, not a new one.
+func TestGateServingExperimentsAgainstCommittedBaseline(t *testing.T) {
+	base, err := readBaseline(filepath.Join("..", "..", "testdata", "throughput_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"EXP-L1", "EXP-L2"} {
+		b, ok := base.Experiments[id]
+		if !ok {
+			t.Fatalf("committed baseline lacks %s", id)
+		}
+		if b.NSPerPoint <= 0 || b.Points <= 0 {
+			t.Fatalf("committed %s baseline is degenerate: %+v", id, b)
+		}
+	}
+
+	// Synthesize both record shapes at the committed per-point rate and
+	// gate against the real committed file: 1.00x on each experiment.
+	l1 := base.Experiments["EXP-L1"].NSPerPoint
+	l2 := base.Experiments["EXP-L2"].NSPerPoint
+	var b strings.Builder
+	for i := 0; i < 4; i++ {
+		b.WriteString(`{"experiment":"EXP-L1","title":"t","row":` + itoa(i) + `,"columns":["x"],"values":["1"],"wall_ns":` + i64toa(int64(l1)) + "}\n")
+	}
+	for i := 0; i < 6; i++ {
+		b.WriteString(`{"type":"point","experiment":"EXP-L2","index":` + itoa(i) + `,"points":6,"row":[1],"cells":["1"],"wall_ns":` + i64toa(int64(l2)) + "}\n")
+	}
+	code, out := gateRun(t, b.String(), "-baseline", filepath.Join("..", "..", "testdata", "throughput_baseline.json"))
+	if code != 0 {
+		t.Fatalf("serving experiments failed the committed gate (exit %d)\n%s", code, out)
+	}
+	for _, id := range []string{"EXP-L1", "EXP-L2"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("gate output lacks %s:\n%s", id, out)
+		}
+	}
+	if strings.Contains(out, "no baseline") {
+		t.Errorf("serving experiment gated as unknown:\n%s", out)
+	}
+}
+
 // TestGateRejectsUntimedInput: a bench stream without wall_ns fields (run
 // without -timing) must produce a clear error, not a silent pass.
 func TestGateRejectsUntimedInput(t *testing.T) {

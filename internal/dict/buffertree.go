@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/aem"
 	"repro/internal/sorting"
@@ -59,6 +60,99 @@ type BufferTree struct {
 	top     *btnode
 	liveRun int // live (non-tombstone) entries across all leaf runs
 	runLen  int // total entries (incl. tombstones) across all leaf runs
+
+	// flushHook, when set, observes the wall-clock duration of every
+	// top-level flush section — a threshold cascade, a forced flush, or a
+	// rebuild, including the follow-on work each triggers. It exists for
+	// serving layers that track flush pauses as tail latency; flushDepth
+	// keeps nested sections (a rebuild inside a flush) from double firing.
+	flushHook  func(time.Duration)
+	flushDepth int
+
+	// stage, when non-nil, holds the root buffer's partial tail block in
+	// internal memory (see EnableTailStaging): updates accumulate here and
+	// only full blocks are appended to the root chain.
+	stage []aem.Item
+}
+
+// EnableTailStaging switches the root buffer to staged appends: incoming
+// updates collect in a B-item internal-memory buffer and reach external
+// memory only as full blocks (the stage is written out as a final partial
+// block when a flush needs the buffer's contents). Without staging, every
+// Apply call's append ends on a partially filled block — irrelevant when
+// updates arrive in large batches, but a serving layer's group commits
+// are sized by the number of concurrent writers, and a chain built from
+// 5-item batches occupies ~B/5× more blocks than its items need, which
+// every subsequent buffer scan then pays for. Staging restores the
+// ⌈n/B⌉ occupancy at the cost of B items of internal memory (metered via
+// Reserve for the tree's lifetime).
+//
+// Off by default: staging removes the per-batch partial-tail writes, so
+// it changes the I/O accounting of existing experiments; the serving
+// layer opts in, the batch experiments keep their committed numbers.
+// Must be called before the first Apply.
+func (t *BufferTree) EnableTailStaging() {
+	if t.stage != nil {
+		return
+	}
+	if t.seq != 0 {
+		panic("dict: EnableTailStaging after updates were applied")
+	}
+	t.ma.Reserve(t.cfg.B)
+	t.stage = make([]aem.Item, 0, t.cfg.B)
+}
+
+// flushStage writes the staged tail (if any) to the root chain as one
+// partial block, emptying the stage. Called before any flush that needs
+// the root buffer's full contents in external memory.
+func (t *BufferTree) flushStage() {
+	if len(t.stage) > 0 {
+		t.top.buf.appendBlock(t.ma, t.stage)
+		t.stage = t.stage[:0]
+	}
+}
+
+// stagedSection runs a flush section f with the stage emptied and its
+// internal-memory reservation released for the duration: the cascade and
+// rebuild paths size their streaming frames to use all of M, and the
+// stage's B slots are genuinely free while it is empty.
+func (t *BufferTree) stagedSection(f func()) {
+	if t.stage == nil {
+		f()
+		return
+	}
+	t.flushStage()
+	t.ma.Release(t.cfg.B)
+	f()
+	t.ma.Reserve(t.cfg.B)
+}
+
+// rootPending returns the root buffer's total pending updates, staged
+// items included.
+func (t *BufferTree) rootPending() int { return t.top.buf.n + len(t.stage) }
+
+// SetFlushHook registers fn to observe the wall-clock duration of every
+// top-level flush section (cascade, forced flush, rebuild — each with the
+// follow-on work it triggers). The longest such section is the worst
+// write-path stall the structure inflicts on a caller: the Θ(ωM) root
+// buffer defers restructuring, so a bigger ω means rarer but bigger
+// pauses, which is exactly the tail-latency axis internal/dictsrv
+// measures. A nil fn removes the hook.
+func (t *BufferTree) SetFlushHook(fn func(time.Duration)) { t.flushHook = fn }
+
+// timeFlush runs f, reporting its wall-clock to the flush hook when f is
+// the outermost flush section.
+func (t *BufferTree) timeFlush(f func()) {
+	if t.flushHook == nil || t.flushDepth > 0 {
+		f()
+		return
+	}
+	t.flushDepth++
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	t.flushDepth--
+	t.flushHook(d)
 }
 
 // btnode is one tree node. Internal nodes have children and externally
@@ -153,10 +247,14 @@ func (t *BufferTree) Apply(ops []Op) []Result {
 // Flush implements Dict: every buffered update is pushed into the leaf
 // runs, then the rebuild condition is checked once.
 func (t *BufferTree) Flush() {
-	prev := t.ma.SetPhase("dict-flush")
-	t.forceFlush()
-	t.ma.SetPhase(prev)
-	t.maybeRebuild()
+	t.timeFlush(func() {
+		t.stagedSection(func() {
+			prev := t.ma.SetPhase("dict-flush")
+			t.forceFlush()
+			t.ma.SetPhase(prev)
+			t.maybeRebuild()
+		})
+	})
 }
 
 // update appends a run of Insert/Delete ops to the root buffer, cascading
@@ -164,26 +262,49 @@ func (t *BufferTree) Flush() {
 // single huge batch behaves exactly like the same ops trickling in.
 func (t *BufferTree) update(ops []Op) {
 	for i := 0; i < len(ops); {
-		room := t.rootCap - t.top.buf.n
+		room := t.rootCap - t.rootPending()
 		if room < 1 {
 			room = 1
 		}
 		j := min(len(ops), i+room)
 		t.appendUpdates(ops[i:j])
 		i = j
-		if t.top.buf.n >= t.rootCap {
-			prev := t.ma.SetPhase("dict-flush")
-			t.cascade()
-			t.ma.SetPhase(prev)
-			t.maybeRebuild()
+		if t.rootPending() >= t.rootCap {
+			t.timeFlush(func() {
+				t.stagedSection(func() {
+					prev := t.ma.SetPhase("dict-flush")
+					t.cascade()
+					t.ma.SetPhase(prev)
+					t.maybeRebuild()
+				})
+			})
 		}
 	}
 }
 
 // appendUpdates streams packed updates into the root buffer through one
-// block frame.
+// block frame — or through the persistent stage when tail staging is on,
+// in which case only full blocks reach the chain.
 func (t *BufferTree) appendUpdates(ops []Op) {
 	prev := t.ma.SetPhase("dict-append")
+	if t.stage != nil {
+		for _, op := range ops {
+			if op.Kind == Insert {
+				checkValue(op.Value)
+			}
+			t.seq++
+			if t.seq >= maxSeq {
+				panic("dict: operation sequence space exhausted")
+			}
+			t.stage = append(t.stage, aem.Item{Key: op.Key, Aux: packEntry(t.seq, op.Kind, op.Value)})
+			if len(t.stage) == t.cfg.B {
+				t.top.buf.appendBlock(t.ma, t.stage)
+				t.stage = t.stage[:0]
+			}
+		}
+		t.ma.SetPhase(prev)
+		return
+	}
 	t.ma.Reserve(t.cfg.B)
 	w := newChainWriter(t.ma, &t.top.buf, t.frame)
 	for _, op := range ops {
@@ -589,6 +710,12 @@ func (t *BufferTree) query(ops []Op) []Result {
 	}
 	sort.Slice(lookups, func(i, j int) bool { return lookups[i].key < lookups[j].key })
 
+	// The staged root tail (if any) is internal memory: scan it at no I/O
+	// cost. Its entries carry the newest sequence numbers, so scanMatch's
+	// winner resolution handles them like any buffered update.
+	for _, it := range t.stage {
+		scanMatch(it, lookups, ranges)
+	}
 	t.descend(t.top, lookups, ranges)
 
 	results := make([]Result, len(ops))

@@ -1,0 +1,258 @@
+package dict
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aem"
+)
+
+// This file is the buffer tree's snapshot read path: a structurally
+// captured, immutable view of the tree that answers Lookups and RangeScans
+// without touching the live tree or its machine. Snapshots are what let a
+// concurrent serving layer (internal/dictsrv) run readers against a stable
+// state while a background flush or rebuild rewrites the live structure.
+//
+// The capture is cheap and I/O-free because the tree's chains are
+// append-only: blocks are written whole at freshly allocated addresses and
+// never rewritten in place, so a deep copy of every chain's address slice
+// (plus the node topology and separator-block addresses, which are program
+// knowledge) pins the exact state of the tree at capture time. Later
+// updates only append blocks at new addresses or abandon old ones — they
+// can never change the contents behind a captured address.
+//
+// Snapshot queries do not run on the tree's machine: the machine's
+// accounting and storage access are single-threaded by design. Instead the
+// snapshot reads blocks through a caller-supplied BlockReader, which is
+// where a serving layer injects its concurrency control (and its own read
+// accounting). The read algorithm itself replicates the live query path:
+// scan every buffer on the root-to-leaf route plus the leaf run, resolve
+// winners by sequence number.
+
+// BlockReader fetches one external-memory block into dst, returning the
+// filled prefix (like aem.Storage.ReadInto). Implementations used by
+// concurrent readers must be safe to call while the tree's machine
+// allocates and writes new blocks; the dictsrv locked-storage wrapper is
+// the canonical implementation.
+type BlockReader interface {
+	ReadBlock(a aem.Addr, dst []aem.Item) []aem.Item
+}
+
+// snapChain is one captured chain: the block addresses as of capture.
+type snapChain struct {
+	addrs []aem.Addr
+	n     int
+}
+
+// snapNode is one captured tree node.
+type snapNode struct {
+	kids      []*snapNode
+	sepBase   aem.Addr
+	sepBlocks int
+	buf       snapChain
+	run       snapChain
+}
+
+func (nd *snapNode) isLeaf() bool { return nd.kids == nil }
+
+// TreeSnapshot is an immutable view of a BufferTree at one instant. It is
+// safe to share across goroutines and to query while the live tree keeps
+// applying updates; queries cost one BlockReader call per block scanned.
+type TreeSnapshot struct {
+	b     int   // block size of the capturing machine
+	seq   int64 // update sequence watermark at capture
+	root  *snapNode
+	stage []aem.Item // copy of the staged root tail (EnableTailStaging)
+}
+
+// Snapshot captures the tree's current state. The capture walks the node
+// structure and deep-copies every chain's address slice — no I/O, no locks
+// — so it must be called from the same goroutine that applies updates
+// (the tree is not internally synchronized). The returned snapshot
+// reflects exactly the updates applied before the call.
+func (t *BufferTree) Snapshot() *TreeSnapshot {
+	var capture func(nd *btnode) *snapNode
+	capture = func(nd *btnode) *snapNode {
+		sn := &snapNode{
+			sepBase:   nd.sepBase,
+			sepBlocks: nd.sepBlocks,
+			buf:       snapChain{addrs: append([]aem.Addr(nil), nd.buf.addrs...), n: nd.buf.n},
+			run:       snapChain{addrs: append([]aem.Addr(nil), nd.run.addrs...), n: nd.run.n},
+		}
+		if !nd.isLeaf() {
+			sn.kids = make([]*snapNode, len(nd.kids))
+			for i, kid := range nd.kids {
+				sn.kids[i] = capture(kid)
+			}
+		}
+		return sn
+	}
+	s := &TreeSnapshot{b: t.cfg.B, seq: t.seq, root: capture(t.top)}
+	if len(t.stage) > 0 {
+		s.stage = append([]aem.Item(nil), t.stage...)
+	}
+	return s
+}
+
+// Seq returns the tree's update-sequence watermark at capture time.
+func (s *TreeSnapshot) Seq() int64 { return s.seq }
+
+// GetScratch is the reusable working memory of snapshot point lookups:
+// one block frame and one separator buffer. Callers that pool it (see
+// dictsrv) keep the steady-state lookup path allocation-free.
+type GetScratch struct {
+	frame []aem.Item
+	seps  []int64
+}
+
+// NewGetScratch returns scratch sized for snapshots captured at block
+// size b.
+func NewGetScratch(b int) *GetScratch {
+	return &GetScratch{frame: make([]aem.Item, b), seps: make([]int64, 0, 64)}
+}
+
+// readSeps decodes a captured node's separator keys into sc.seps.
+func (s *TreeSnapshot) readSeps(r BlockReader, nd *snapNode, sc *GetScratch) ([]int64, int64) {
+	seps := sc.seps[:0]
+	var reads int64
+	for b := 0; b < nd.sepBlocks; b++ {
+		blk := r.ReadBlock(nd.sepBase+aem.Addr(b), sc.frame)
+		reads++
+		for _, it := range blk {
+			seps = append(seps, it.Key)
+		}
+	}
+	if len(seps) != len(nd.kids) {
+		panic(fmt.Sprintf("dict: snapshot node has %d separators for %d children", len(seps), len(nd.kids)))
+	}
+	sc.seps = seps
+	return seps, reads
+}
+
+// routeSeps is route() without the sort.Search closure, so the lookup
+// path stays allocation-free. Child i covers [seps[i], seps[i+1]), with
+// seps[0] acting as -∞ and the last interval open-ended.
+func routeSeps(seps []int64, k int64) int {
+	i := 0
+	for i+1 < len(seps) && k >= seps[i+1] {
+		i++
+	}
+	return i
+}
+
+// Get answers one point lookup against the snapshot: the value associated
+// with key at capture time, whether it was present, and the number of
+// blocks read. sc may be nil (scratch is then allocated per call); pass a
+// pooled GetScratch to make the steady state allocation-free.
+func (s *TreeSnapshot) Get(r BlockReader, key int64, sc *GetScratch) (value int64, ok bool, reads int64) {
+	if sc == nil {
+		sc = NewGetScratch(s.b)
+	}
+	var best int64 // packed Aux of the winning update; 0 = none seen
+	// The staged root tail holds the newest updates in the snapshot and
+	// costs no I/O to scan; a hit here answers the lookup outright.
+	for _, it := range s.stage {
+		if it.Key == key && entrySeq(it.Aux) > entrySeq(best) {
+			best = it.Aux
+		}
+	}
+	if best != 0 {
+		if entryKind(best) == Insert {
+			return entryValue(best), true, 0
+		}
+		return 0, false, 0
+	}
+	nd := s.root
+	for {
+		// Scan this node's pending updates (and, at a leaf, its run) for
+		// the key; within one node the largest sequence number wins.
+		for _, c := range [2]*snapChain{&nd.buf, &nd.run} {
+			for _, a := range c.addrs {
+				blk := r.ReadBlock(a, sc.frame)
+				reads++
+				for _, it := range blk {
+					if it.Key == key && entrySeq(it.Aux) > entrySeq(best) {
+						best = it.Aux
+					}
+				}
+			}
+		}
+		// A hit at this level ends the descent: entries only move DOWN the
+		// tree (buffer flushes route all of a key's buffered entries to one
+		// child together), so anything for this key in a descendant is
+		// strictly older than a match found here. This is what makes hot
+		// keys cheap — they resolve in the root buffer without paying the
+		// full root-to-leaf scan.
+		if best != 0 || nd.isLeaf() {
+			break
+		}
+		seps, n := s.readSeps(r, nd, sc)
+		reads += n
+		nd = nd.kids[routeSeps(seps, key)]
+	}
+	if best != 0 && entryKind(best) == Insert {
+		return entryValue(best), true, reads
+	}
+	return 0, false, reads
+}
+
+// Range answers one range scan [lo, hi) against the snapshot: every live
+// (key, value) pair in ascending key order, plus the number of blocks
+// read. Unlike Get it allocates (a winners map and the result slice) —
+// range answers are inherently sized by the data.
+func (s *TreeSnapshot) Range(r BlockReader, lo, hi int64) (hits []Found, reads int64) {
+	if hi <= lo {
+		return nil, 0
+	}
+	sc := NewGetScratch(s.b)
+	cands := make(map[int64]int64) // key → packed Aux of the winner
+	for _, it := range s.stage {
+		if lo <= it.Key && it.Key < hi && entrySeq(it.Aux) > entrySeq(cands[it.Key]) {
+			cands[it.Key] = it.Aux
+		}
+	}
+	var walk func(nd *snapNode)
+	walk = func(nd *snapNode) {
+		for _, c := range [2]*snapChain{&nd.buf, &nd.run} {
+			for _, a := range c.addrs {
+				blk := r.ReadBlock(a, sc.frame)
+				reads++
+				for _, it := range blk {
+					if lo <= it.Key && it.Key < hi {
+						if entrySeq(it.Aux) > entrySeq(cands[it.Key]) {
+							cands[it.Key] = it.Aux
+						}
+					}
+				}
+			}
+		}
+		if nd.isLeaf() {
+			return
+		}
+		seps, n := s.readSeps(r, nd, sc)
+		reads += n
+		// Recurse into every child whose interval intersects [lo, hi).
+		// Separator keys live in sc.seps, which the recursion reuses, so
+		// the child indexes are resolved before descending.
+		first := routeSeps(seps, lo)
+		last := routeSeps(seps, hi-1)
+		kids := nd.kids[first : last+1]
+		for _, kid := range kids {
+			walk(kid)
+		}
+	}
+	walk(s.root)
+
+	keys := make([]int64, 0, len(cands))
+	for k, aux := range cands {
+		if entryKind(aux) == Insert {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	hits = make([]Found, 0, len(keys))
+	for _, k := range keys {
+		hits = append(hits, Found{Key: k, Value: entryValue(cands[k])})
+	}
+	return hits, reads
+}

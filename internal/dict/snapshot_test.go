@@ -1,0 +1,285 @@
+package dict
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aem"
+	"repro/internal/rng"
+)
+
+// machineReader adapts a machine's storage to BlockReader for
+// single-threaded tests (the serving layer supplies its own synchronized
+// implementation).
+type machineReader struct{ ma *aem.Machine }
+
+func (r machineReader) ReadBlock(a aem.Addr, dst []aem.Item) []aem.Item {
+	return r.ma.Storage().ReadInto(a, dst)
+}
+
+// TestSnapshotMatchesModel drives a mixed stream, snapshots at random
+// batch boundaries, and checks every snapshot answer (point and range)
+// against a model map frozen at the same boundary — including answers
+// read AFTER the live tree has kept mutating, which pins the append-only
+// stability argument the capture relies on.
+func TestSnapshotMatchesModel(t *testing.T) {
+	r := rng.New(99)
+	ma := aem.New(aem.Config{M: 256, B: 16, Omega: 8})
+	tree := NewBufferTree(ma)
+	reader := machineReader{ma}
+
+	const keyspace = 1024
+	model := map[int64]int64{}
+
+	type frozen struct {
+		snap  *TreeSnapshot
+		model map[int64]int64
+	}
+	var snaps []frozen
+
+	ops := diffStream(7, 30000, keyspace)
+	for i := 0; i < len(ops); {
+		j := i + 1 + r.Intn(900)
+		if j > len(ops) {
+			j = len(ops)
+		}
+		batch := ops[i:j]
+		tree.Apply(batch)
+		for _, op := range batch {
+			switch op.Kind {
+			case Insert:
+				model[op.Key] = op.Value
+			case Delete:
+				delete(model, op.Key)
+			}
+		}
+		i = j
+
+		snap := tree.Snapshot()
+		// Check a sample of keys right away...
+		for k := 0; k < 32; k++ {
+			key := int64(r.Intn(keyspace))
+			got, ok, _ := snap.Get(reader, key, nil)
+			want, wantOK := model[key]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("snapshot Get(%d) = (%d,%v), model (%d,%v)", key, got, ok, want, wantOK)
+			}
+		}
+		// ...and keep every 8th snapshot (with its frozen model) to
+		// re-check after further mutation.
+		if len(snaps) < 16 && r.Intn(8) == 0 {
+			mcopy := make(map[int64]int64, len(model))
+			for k, v := range model {
+				mcopy[k] = v
+			}
+			snaps = append(snaps, frozen{snap, mcopy})
+		}
+	}
+	tree.Flush() // rewrites leaf runs; captured snapshots must not notice
+
+	sc := NewGetScratch(16)
+	for si, fz := range snaps {
+		for key := int64(0); key < keyspace; key++ {
+			got, ok, _ := fz.snap.Get(reader, key, sc)
+			want, wantOK := fz.model[key]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("stale snapshot %d: Get(%d) = (%d,%v), frozen model (%d,%v)",
+					si, key, got, ok, want, wantOK)
+			}
+		}
+		lo := int64(r.Intn(keyspace))
+		hi := lo + 1 + int64(r.Intn(200))
+		hits, reads := fz.snap.Range(reader, lo, hi)
+		if reads == 0 {
+			t.Fatalf("snapshot %d: Range(%d,%d) read no blocks", si, lo, hi)
+		}
+		want := map[int64]int64{}
+		for k, v := range fz.model {
+			if lo <= k && k < hi {
+				want[k] = v
+			}
+		}
+		if len(hits) != len(want) {
+			t.Fatalf("snapshot %d: Range(%d,%d) = %d hits, want %d", si, lo, hi, len(hits), len(want))
+		}
+		prev := lo - 1
+		for _, h := range hits {
+			if h.Key <= prev {
+				t.Fatalf("snapshot %d: Range hits out of order at key %d", si, h.Key)
+			}
+			prev = h.Key
+			if v, ok := want[h.Key]; !ok || v != h.Value {
+				t.Fatalf("snapshot %d: Range hit (%d,%d), model has (%d,%v)", si, h.Key, h.Value, v, ok)
+			}
+		}
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots were frozen; widen the sampling")
+	}
+}
+
+// TestSnapshotEmptyAndRangeEdges covers the degenerate shapes: an empty
+// tree's snapshot answers everything with absent/empty, and hi ≤ lo
+// ranges are free.
+func TestSnapshotEmptyAndRangeEdges(t *testing.T) {
+	ma := aem.New(aem.Config{M: 128, B: 8, Omega: 4})
+	tree := NewBufferTree(ma)
+	snap := tree.Snapshot()
+	reader := machineReader{ma}
+	if _, ok, reads := snap.Get(reader, 42, nil); ok || reads != 0 {
+		t.Fatalf("empty snapshot Get = ok=%v reads=%d", ok, reads)
+	}
+	if hits, reads := snap.Range(reader, 10, 10); hits != nil || reads != 0 {
+		t.Fatalf("empty range = %v (%d reads)", hits, reads)
+	}
+	tree.Apply([]Op{{Kind: Insert, Key: 7, Value: 11}})
+	snap = tree.Snapshot()
+	if v, ok, _ := snap.Get(reader, 7, nil); !ok || v != 11 {
+		t.Fatalf("Get(7) = (%d,%v), want (11,true)", v, ok)
+	}
+	if hits, _ := snap.Range(reader, 8, 7); len(hits) != 0 {
+		t.Fatalf("inverted range returned %v", hits)
+	}
+}
+
+// TestTailStaging drives a staged tree with the trickled tiny batches of
+// a group-commit serving layer and pins both halves of the staging
+// contract: (a) correctness — live queries and snapshots still match the
+// model, including entries resident only in the stage; (b) occupancy —
+// the root chain holds ~⌈n/B⌉ blocks instead of one block per batch.
+func TestTailStaging(t *testing.T) {
+	r := rng.New(5)
+	cfg := aem.Config{M: 256, B: 16, Omega: 8}
+	ma := aem.New(cfg)
+	tree := NewBufferTree(ma)
+	tree.EnableTailStaging()
+	reader := machineReader{ma}
+	model := map[int64]int64{}
+
+	const keyspace = 512
+	ops := diffStream(11, 12000, keyspace)
+	applied := 0
+	for i := 0; i < len(ops); {
+		j := i + 1 + r.Intn(7) // serving-sized batches: 1..7 ops
+		if j > len(ops) {
+			j = len(ops)
+		}
+		batch := ops[i:j]
+		// A mid-batch lookup observes exactly the ops before it, so record
+		// each lookup's expected answer at its position in the stream.
+		type expect struct {
+			key   int64
+			value int64
+			ok    bool
+		}
+		var expects []expect
+		for _, op := range batch {
+			switch op.Kind {
+			case Insert:
+				model[op.Key] = op.Value
+			case Delete:
+				delete(model, op.Key)
+			case Lookup:
+				v, ok := model[op.Key]
+				expects = append(expects, expect{op.Key, v, ok})
+			case RangeScan:
+				expects = append(expects, expect{key: -1}) // positional filler
+			}
+		}
+		res := tree.Apply(batch)
+		applied += len(batch)
+		if len(res) != len(expects) {
+			t.Fatalf("Apply answered %d queries, stream has %d", len(res), len(expects))
+		}
+		for qi, e := range expects {
+			if e.key < 0 {
+				continue // range scan; point correctness is the target here
+			}
+			if res[qi].OK != e.ok || (e.ok && res[qi].Value != e.value) {
+				t.Fatalf("live Lookup(%d) = (%d,%v), model (%d,%v)",
+					e.key, res[qi].Value, res[qi].OK, e.value, e.ok)
+			}
+		}
+		i = j
+
+		if r.Intn(50) == 0 {
+			snap := tree.Snapshot()
+			for k := int64(0); k < keyspace; k++ {
+				got, ok, _ := snap.Get(reader, k, nil)
+				want, wantOK := model[k]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("staged snapshot Get(%d) = (%d,%v), model (%d,%v)", k, got, ok, want, wantOK)
+				}
+			}
+		}
+	}
+
+	// Occupancy: with ~4-op batches an unstaged chain would hold ~1 block
+	// per batch; staged, the root chain must stay near ⌈items/B⌉. Allow
+	// 2× slack for the partial blocks flushes leave behind.
+	if blocks := tree.top.buf.blocks(); blocks > 2*(tree.top.buf.n/cfg.B+1) {
+		t.Fatalf("staged root chain holds %d blocks for %d items (B=%d) — fragmented",
+			blocks, tree.top.buf.n, cfg.B)
+	}
+
+	tree.Flush()
+	if len(tree.stage) != 0 {
+		t.Fatalf("Flush left %d items in the stage", len(tree.stage))
+	}
+	for k := int64(0); k < keyspace; k++ {
+		snap := tree.Snapshot()
+		got, ok, _ := snap.Get(reader, k, nil)
+		want, wantOK := model[k]
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("post-flush Get(%d) = (%d,%v), model (%d,%v)", k, got, ok, want, wantOK)
+		}
+	}
+}
+
+// TestTailStagingGuards pins the enable-time contract.
+func TestTailStagingGuards(t *testing.T) {
+	ma := aem.New(aem.Config{M: 128, B: 8, Omega: 2})
+	tree := NewBufferTree(ma)
+	tree.Apply([]Op{{Kind: Insert, Key: 1, Value: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableTailStaging after Apply did not panic")
+		}
+	}()
+	tree.EnableTailStaging()
+}
+
+// TestFlushHookObservesStalls pins the hook contract: it fires once per
+// top-level flush section (no nested double fire), with a non-negative
+// duration, and a stream big enough to cascade fires it at least once.
+func TestFlushHookObservesStalls(t *testing.T) {
+	ma := aem.New(aem.Config{M: 64, B: 8, Omega: 2})
+	tree := NewBufferTree(ma)
+	var fired int
+	var total time.Duration
+	tree.SetFlushHook(func(d time.Duration) {
+		if d < 0 {
+			t.Fatalf("negative flush duration %v", d)
+		}
+		if tree.flushDepth != 0 {
+			t.Fatalf("hook fired at depth %d, want 0 (top level only, after unwind)", tree.flushDepth)
+		}
+		fired++
+		total += d
+	})
+	ops := diffStream(3, 4000, 256)
+	tree.Apply(ops)
+	if fired == 0 {
+		t.Fatal("no flush sections observed over a cascading stream")
+	}
+	before := fired
+	tree.Flush()
+	if fired != before+1 {
+		t.Fatalf("Flush fired the hook %d times, want exactly 1", fired-before)
+	}
+	tree.SetFlushHook(nil)
+	tree.Apply(ops)
+	if fired != before+1 {
+		t.Fatal("hook fired after removal")
+	}
+}

@@ -1,0 +1,526 @@
+// Package dictsrv is the concurrent dictionary service: dict.BufferTree
+// turned into a serving layer with measured tail latency, not just
+// amortized cost.
+//
+// The paper's write-buffering thesis prices an update stream by its
+// amortized I/O: pay Θ(ωM) of deferral in the root buffer so each update
+// is written O(height/B) times instead of ≥ 1. A serving system feels the
+// other side of that trade — the deferred work does not disappear, it
+// concentrates into flush stalls, and the bigger ω makes the buffer, the
+// rarer but bigger the stall. This package is where that axis becomes
+// measurable: every operation's latency is captured, and the worst flush
+// pause is tracked per shard via the tree's flush hook.
+//
+// Architecture:
+//
+//   - The served keyspace [KeyLo, KeyHi) is partitioned into Shards
+//     contiguous ranges; each shard owns one machine and one BufferTree.
+//     Keys route by range, so a RangeScan touches exactly the shards its
+//     interval overlaps.
+//   - Writes are group-committed: concurrent writers enqueue onto the
+//     shard's channel and a per-shard committer goroutine drains them
+//     into one batched Apply call, assigning each op its position in the
+//     shard's commit order before waking its waiter. The tree (and its
+//     machine) is touched by the committer alone.
+//   - Reads are snapshot-isolated: after every commit batch the committer
+//     publishes a dict.TreeSnapshot (an immutable structural capture —
+//     the tree's chains are append-only, so captured addresses can never
+//     change contents behind the snapshot). Readers load the current
+//     snapshot atomically and descend it through a lock-striped block
+//     reader, so a reader never waits on a multi-millisecond leaf rebuild
+//     — at most on the storage engine's short Alloc sections.
+//   - Every read carries the watermark (ops committed on its shard when
+//     its snapshot was published), and every write its commit position.
+//     Those two numbers make concurrent histories checkable: a read must
+//     observe exactly the model state after its watermark's prefix of the
+//     shard's commit order, and because the snapshot is published before
+//     waiters wake, a session always observes its own completed writes.
+//     The linearizability-style differential test holds the service to
+//     precisely that contract under -race.
+//
+// Cost accounting: the committer's writes flow through the machine's
+// normal metered path, so amortized Q is the same accounting every other
+// experiment uses. Snapshot reads bypass the (single-threaded) machine
+// and are counted per block into a shard atomic; Stats folds them back in
+// at read weight 1, the model's price for a read.
+package dictsrv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aem"
+	"repro/internal/dict"
+)
+
+// Config shapes a Service.
+type Config struct {
+	// Shards is the number of keyspace partitions (≥ 1), each its own
+	// machine + tree + committer.
+	Shards int
+
+	// Machine is the per-shard AEM machine shape.
+	Machine aem.Config
+
+	// Engine names the storage engine backing each shard (aem registry
+	// name; must retain data). Empty means "slice".
+	Engine string
+
+	// KeyLo, KeyHi bound the served keyspace [KeyLo, KeyHi); keys route
+	// to the shard whose contiguous sub-range covers them (out-of-range
+	// keys clamp to the edge shards).
+	KeyLo, KeyHi int64
+
+	// MaxBatch caps how many queued writes one commit batch drains
+	// (0 = 1024). Bigger batches amortize better; smaller bound the
+	// latency one batch can add to its waiters.
+	MaxBatch int
+}
+
+// Ack answers a completed write: where it committed and what it cost the
+// caller in wall-clock.
+type Ack struct {
+	Shard     int
+	Commit    int64 // position in the shard's commit order, 1-based
+	LatencyNS int64
+}
+
+// GetResult answers a point lookup from a shard snapshot.
+type GetResult struct {
+	OK        bool
+	Value     int64
+	Shard     int
+	Watermark int64 // ops committed on the shard when the snapshot published
+	LatencyNS int64
+}
+
+// Segment is the per-shard slice of a cross-shard range scan: the hits
+// whose keys fall in the shard's sub-range, read at that shard's
+// watermark.
+type Segment struct {
+	Shard     int
+	Watermark int64
+	Hits      []dict.Found
+}
+
+// ScanResult answers a range scan. Hits concatenate the segments' hits —
+// shards partition the keyspace contiguously, so the concatenation is
+// globally key-ordered.
+type ScanResult struct {
+	Hits      []dict.Found
+	Segments  []Segment
+	LatencyNS int64
+}
+
+// Stats aggregates the service's accounting. Reads/Writes/Cost come from
+// the shard machines (the group-committed write path); SnapReads counts
+// snapshot block reads, and Cost includes them at weight 1.
+type Stats struct {
+	Shards     int
+	Committed  int64 // total write ops committed
+	Reads      int64 // machine block reads (commit path)
+	Writes     int64 // machine block writes
+	SnapReads  int64 // snapshot block reads (serve path)
+	Cost       int64 // Σ machine (reads + ω·writes) + SnapReads
+	Flushes    int64 // top-level flush sections across all shards
+	MaxFlushNS int64 // the worst single flush pause
+}
+
+// lockedStorage wraps a shard's engine so snapshot readers and the
+// committer can share it: Alloc (the only operation that moves the
+// engine's containers — slice growth, arena regrowth, file remap) takes
+// the write lock, snapshot block reads take the read lock. Block
+// contents need no locking: chains write every block exactly once at a
+// fresh address, and a snapshot only references addresses allocated
+// before it was captured.
+type lockedStorage struct {
+	aem.Storage
+	mu sync.RWMutex
+}
+
+func (ls *lockedStorage) Alloc(count int) aem.Addr {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.Storage.Alloc(count)
+}
+
+// snapRead copies block a into dst under the read lock. Storage.ReadInto
+// copies (per its contract), so nothing aliases engine memory after the
+// lock drops.
+func (ls *lockedStorage) snapRead(a aem.Addr, dst []aem.Item) []aem.Item {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.Storage.ReadInto(a, dst)
+}
+
+// shardReader implements dict.BlockReader over a shard's locked storage,
+// counting every block into the shard's snapshot-read meter.
+type shardReader struct{ sh *shard }
+
+func (r shardReader) ReadBlock(a aem.Addr, dst []aem.Item) []aem.Item {
+	r.sh.snapReads.Add(1)
+	return r.sh.store.snapRead(a, dst)
+}
+
+// snapState is one published snapshot with its commit watermark.
+type snapState struct {
+	snap      *dict.TreeSnapshot
+	watermark int64
+}
+
+// writeReq is one enqueued write (or flush barrier) awaiting group
+// commit.
+type writeReq struct {
+	op     dict.Op
+	flush  bool  // barrier: force the shard tree down to its runs
+	commit int64 // assigned by the committer before done closes
+	done   chan struct{}
+}
+
+type shard struct {
+	idx   int
+	ma    *aem.Machine
+	tree  *dict.BufferTree
+	store *lockedStorage
+
+	reqs      chan *writeReq
+	snap      atomic.Pointer[snapState]
+	committed atomic.Int64
+
+	snapReads  atomic.Int64
+	flushes    atomic.Int64
+	maxFlushNS atomic.Int64
+
+	scratch sync.Pool // *dict.GetScratch
+}
+
+// Service is the concurrent sharded dictionary. All methods are safe for
+// concurrent use; Stats and Close require quiescence (no ops in flight).
+type Service struct {
+	cfg    Config
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed vs in-flight submits
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds the service: Shards machines and trees, one committer
+// goroutine each, and an initial (empty) snapshot per shard.
+func New(cfg Config) (*Service, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("dictsrv: need ≥ 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.KeyHi <= cfg.KeyLo {
+		return nil, fmt.Errorf("dictsrv: empty keyspace [%d, %d)", cfg.KeyLo, cfg.KeyHi)
+	}
+	if int64(cfg.Shards) > cfg.KeyHi-cfg.KeyLo {
+		return nil, fmt.Errorf("dictsrv: %d shards over a %d-key space", cfg.Shards, cfg.KeyHi-cfg.KeyLo)
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, fmt.Errorf("dictsrv: %v", err)
+	}
+	engine := cfg.Engine
+	if engine == "" {
+		engine = "slice"
+	}
+	if e, ok := aem.EngineByName(engine); !ok || !e.Caps.RetainsData {
+		if !ok {
+			_, err := aem.StorageByName(engine, cfg.Machine.B)
+			return nil, fmt.Errorf("dictsrv: %v", err)
+		}
+		return nil, fmt.Errorf("dictsrv: engine %q has no data plane and cannot serve a dictionary", engine)
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("dictsrv: MaxBatch must be ≥ 1, got %d", cfg.MaxBatch)
+	}
+
+	s := &Service{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		inner, err := aem.StorageByName(engine, cfg.Machine.B)
+		if err != nil {
+			s.destroy()
+			return nil, fmt.Errorf("dictsrv: shard %d: %v", i, err)
+		}
+		store := &lockedStorage{Storage: inner}
+		ma := aem.NewWithStorage(cfg.Machine, store)
+		sh := &shard{idx: i, ma: ma, tree: dict.NewBufferTree(ma), store: store,
+			reqs: make(chan *writeReq, 4*cfg.MaxBatch)}
+		// Group-commit batches are sized by writer concurrency, not by B;
+		// staging the root tail in memory keeps small batches from
+		// fragmenting the buffer chain into mostly-empty blocks that every
+		// snapshot read would then scan.
+		sh.tree.EnableTailStaging()
+		sh.scratch.New = func() interface{} { return dict.NewGetScratch(cfg.Machine.B) }
+		sh.tree.SetFlushHook(func(d time.Duration) {
+			sh.flushes.Add(1)
+			ns := d.Nanoseconds()
+			for {
+				cur := sh.maxFlushNS.Load()
+				if ns <= cur || sh.maxFlushNS.CompareAndSwap(cur, ns) {
+					break
+				}
+			}
+		})
+		sh.snap.Store(&snapState{snap: sh.tree.Snapshot()})
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.commitLoop(sh)
+	}
+	return s, nil
+}
+
+// destroy closes whatever shards were built (constructor failure path).
+func (s *Service) destroy() {
+	for _, sh := range s.shards {
+		sh.ma.Close()
+	}
+}
+
+// shardFor routes a key to its partition: contiguous equal ranges over
+// [KeyLo, KeyHi), out-of-range keys clamped to the edge shards.
+func (s *Service) shardFor(key int64) int {
+	lo, hi := s.cfg.KeyLo, s.cfg.KeyHi
+	if key < lo {
+		return 0
+	}
+	if key >= hi {
+		return len(s.shards) - 1
+	}
+	// Partition by position; span/Shards ≥ 1 is checked at construction.
+	i := int((key - lo) / ((hi - lo + int64(len(s.shards)) - 1) / int64(len(s.shards))))
+	if i >= len(s.shards) {
+		i = len(s.shards) - 1
+	}
+	return i
+}
+
+// shardRange returns shard i's key interval [lo, hi).
+func (s *Service) shardRange(i int) (lo, hi int64) {
+	span := (s.cfg.KeyHi - s.cfg.KeyLo + int64(len(s.shards)) - 1) / int64(len(s.shards))
+	lo = s.cfg.KeyLo + int64(i)*span
+	hi = lo + span
+	if hi > s.cfg.KeyHi || i == len(s.shards)-1 {
+		hi = s.cfg.KeyHi
+	}
+	return lo, hi
+}
+
+// commitLoop is one shard's committer: drain queued writes into a batch,
+// Apply it, assign commit positions, publish the post-batch snapshot,
+// then wake every waiter. Publishing before waking is what gives
+// sessions read-your-own-writes through snapshots.
+func (s *Service) commitLoop(sh *shard) {
+	defer s.wg.Done()
+	batch := make([]*writeReq, 0, s.cfg.MaxBatch)
+	ops := make([]dict.Op, 0, s.cfg.MaxBatch)
+	writers := make([]*writeReq, 0, s.cfg.MaxBatch)
+	for first := range sh.reqs {
+		batch = append(batch[:0], first)
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-sh.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		ops, writers = ops[:0], writers[:0]
+		doFlush := false
+		for _, r := range batch {
+			if r.flush {
+				doFlush = true
+				continue
+			}
+			ops = append(ops, r.op)
+			writers = append(writers, r)
+		}
+		if len(ops) > 0 {
+			sh.tree.Apply(ops)
+		}
+		if doFlush {
+			sh.tree.Flush()
+		}
+		base := sh.committed.Load()
+		for i, r := range writers {
+			r.commit = base + int64(i) + 1
+		}
+		n := base + int64(len(writers))
+		sh.snap.Store(&snapState{snap: sh.tree.Snapshot(), watermark: n})
+		sh.committed.Store(n)
+		for _, r := range batch {
+			close(r.done)
+		}
+	}
+}
+
+// submit enqueues one write and waits for its group commit.
+func (s *Service) submit(op dict.Op) Ack {
+	start := time.Now()
+	sh := s.shards[s.shardFor(op.Key)]
+	r := &writeReq{op: op, done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		panic("dictsrv: write on a closed service")
+	}
+	sh.reqs <- r
+	s.mu.RUnlock()
+	<-r.done
+	return Ack{Shard: sh.idx, Commit: r.commit, LatencyNS: time.Since(start).Nanoseconds()}
+}
+
+// Put inserts (key, value), overwriting any previous value. It returns
+// when the write is committed (applied to the shard tree and visible to
+// every subsequently published snapshot).
+func (s *Service) Put(key, value int64) Ack {
+	return s.submit(dict.Op{Kind: dict.Insert, Key: key, Value: value})
+}
+
+// Delete removes key (absent keys are a committed no-op).
+func (s *Service) Delete(key int64) Ack {
+	return s.submit(dict.Op{Kind: dict.Delete, Key: key})
+}
+
+// Get answers a point lookup against the shard's current snapshot. It
+// never blocks on commit or flush work — only on the storage engine's
+// short Alloc sections — and is allocation-free in steady state.
+func (s *Service) Get(key int64) GetResult {
+	start := time.Now()
+	sh := s.shards[s.shardFor(key)]
+	st := sh.snap.Load()
+	sc := sh.scratch.Get().(*dict.GetScratch)
+	v, ok, _ := st.snap.Get(shardReader{sh}, key, sc)
+	sh.scratch.Put(sc)
+	return GetResult{OK: ok, Value: v, Shard: sh.idx, Watermark: st.watermark,
+		LatencyNS: time.Since(start).Nanoseconds()}
+}
+
+// Scan answers a range scan [lo, hi): each overlapping shard contributes
+// the hits of its sub-interval from its own current snapshot. Segments
+// record the per-shard watermarks — a cross-shard scan is a union of
+// per-shard snapshots, not one global snapshot, and the result says so.
+func (s *Service) Scan(lo, hi int64) ScanResult {
+	start := time.Now()
+	var out ScanResult
+	if hi <= lo {
+		out.LatencyNS = time.Since(start).Nanoseconds()
+		return out
+	}
+	first := s.shardFor(lo)
+	last := s.shardFor(hi - 1)
+	for i := first; i <= last; i++ {
+		sh := s.shards[i]
+		shLo, shHi := s.shardRange(i)
+		if shLo < lo {
+			shLo = lo
+		}
+		if shHi > hi {
+			shHi = hi
+		}
+		if i == 0 && lo < s.cfg.KeyLo {
+			shLo = lo // edge shard serves clamped out-of-range keys
+		}
+		if i == len(s.shards)-1 && hi > s.cfg.KeyHi {
+			shHi = hi
+		}
+		st := sh.snap.Load()
+		hits, _ := st.snap.Range(shardReader{sh}, shLo, shHi)
+		out.Segments = append(out.Segments, Segment{Shard: i, Watermark: st.watermark, Hits: hits})
+		out.Hits = append(out.Hits, hits...)
+	}
+	out.LatencyNS = time.Since(start).Nanoseconds()
+	return out
+}
+
+// Flush forces every shard's buffered work down to the leaf runs. The
+// flush runs on each shard's committer, ordered after everything already
+// queued, so it acts as a committed write barrier per shard.
+func (s *Service) Flush() {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			r := &writeReq{flush: true, done: make(chan struct{})}
+			s.mu.RLock()
+			if s.closed {
+				s.mu.RUnlock()
+				panic("dictsrv: Flush on a closed service")
+			}
+			sh.reqs <- r
+			s.mu.RUnlock()
+			<-r.done
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// Close stops the committers and closes every shard machine. The caller
+// must have no operations in flight; Close is not idempotent-safe against
+// concurrent writers by design (the differential layer owns lifecycle in
+// tests, the CLI in production).
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.reqs)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	for _, sh := range s.shards {
+		sh.ma.Close()
+	}
+}
+
+// Committed returns the total write ops committed across shards.
+func (s *Service) Committed() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.committed.Load()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// ShardWatermark returns shard i's current snapshot watermark (ops
+// committed when its snapshot was published).
+func (s *Service) ShardWatermark(i int) int64 { return s.shards[i].snap.Load().watermark }
+
+// Stats aggregates accounting across shards. Machine counters are only
+// coherent at quiescence (committers idle — every submitted op acked);
+// the atomics (SnapReads, Flushes, MaxFlushNS, Committed) are exact at
+// any time.
+func (s *Service) Stats() Stats {
+	var out Stats
+	out.Shards = len(s.shards)
+	for _, sh := range s.shards {
+		st := sh.ma.Stats()
+		out.Committed += sh.committed.Load()
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.SnapReads += sh.snapReads.Load()
+		out.Cost += sh.ma.Cost()
+		out.Flushes += sh.flushes.Load()
+		if m := sh.maxFlushNS.Load(); m > out.MaxFlushNS {
+			out.MaxFlushNS = m
+		}
+	}
+	out.Cost += out.SnapReads
+	return out
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencySummary condenses a population of per-operation latencies into
+// the tail-aware shape the serving experiments report: median, p99 and
+// worst case, in nanoseconds. Amortized Q tells you what an op costs on
+// average; these columns tell you what the unlucky op paid — the two
+// sides of the write-deferral tradeoff, side by side.
+type LatencySummary struct {
+	Count int64
+	P50NS int64
+	P99NS int64
+	MaxNS int64
+}
+
+// SummarizeLatencies computes the percentile summary of one latency
+// population (nanoseconds). The input is sorted in place; an empty
+// population summarizes to zeros. Percentiles use the nearest-rank
+// definition: p-th percentile = the value at rank ⌈p/100·n⌉.
+func SummarizeLatencies(ns []int64) LatencySummary {
+	var s LatencySummary
+	s.Count = int64(len(ns))
+	if len(ns) == 0 {
+		return s
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	rank := func(p float64) int64 {
+		i := int(p/100*float64(len(ns))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ns) {
+			i = len(ns) - 1
+		}
+		return ns[i]
+	}
+	s.P50NS = rank(50)
+	s.P99NS = rank(99)
+	s.MaxNS = ns[len(ns)-1]
+	return s
+}
+
+// FmtNS renders a nanosecond figure compactly for experiment tables
+// (e.g. "1.2µs", "3.4ms"): latency cells are read for their magnitude,
+// not their digits.
+func FmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	}
+	return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+}

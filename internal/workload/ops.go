@@ -28,6 +28,13 @@ const (
 	// DeleteHeavyOps inserts a working set and then churns it with a
 	// delete-dominated mix.
 	DeleteHeavyOps
+	// DriftOps draws keys from a Zipf hot set whose location migrates
+	// mid-stream: traffic concentrates on a hot window, then the window
+	// jumps to a different region of the keyspace and concentrates there.
+	// This is the adversarial shape for write buffering — each migration
+	// invalidates the locality the buffers had accumulated, forcing the
+	// deferred work out as flush stalls.
+	DriftOps
 )
 
 // String names the scenario for experiment tables and CLI flags.
@@ -41,13 +48,15 @@ func (s Scenario) String() string {
 		return "sortedburst"
 	case DeleteHeavyOps:
 		return "deleteheavy"
+	case DriftOps:
+		return "drift"
 	}
 	return fmt.Sprintf("Scenario(%d)", int(s))
 }
 
 // Scenarios lists every scenario, for table-driven tests and sweeps.
 func Scenarios() []Scenario {
-	return []Scenario{UniformOps, ZipfOps, SortedBurstOps, DeleteHeavyOps}
+	return []Scenario{UniformOps, ZipfOps, SortedBurstOps, DeleteHeavyOps, DriftOps}
 }
 
 // DictOps generates an n-operation dictionary stream over keys in
@@ -142,10 +151,67 @@ func DictOps(r *RNG, sc Scenario, n int, keyspace int64) []dict.Op {
 			}
 		}
 
+	case DriftOps:
+		// Zipf traffic over a hot window of the keyspace; every phase the
+		// window jumps to a fresh offset. ~8 phases per stream, update-heavy
+		// (write buffering's worst case is absorbing, then abandoning,
+		// locality).
+		window := keyspace / 8
+		if window < 2 {
+			window = 2
+		}
+		z := newZipf(int(window), 1.1)
+		phases := 8
+		perPhase := n / phases
+		if perPhase < 1 {
+			perPhase = n
+		}
+		offset := int64(0)
+		key := func() int64 { return (offset + z.sample(r)) % keyspace }
+		for len(ops) < n {
+			offset = int64(r.Intn(int(keyspace))) // the hot set migrates
+			for i := 0; i < perPhase && len(ops) < n; i++ {
+				switch c := r.Intn(100); {
+				case c < 60:
+					ops = append(ops, dict.Op{Kind: dict.Insert, Key: key(), Value: value()})
+				case c < 75:
+					ops = append(ops, dict.Op{Kind: dict.Delete, Key: key()})
+				case c < 97:
+					ops = append(ops, dict.Op{Kind: dict.Lookup, Key: key()})
+				default:
+					lo := key()
+					ops = append(ops, dict.Op{Kind: dict.RangeScan, Key: lo, Hi: lo + span})
+				}
+			}
+		}
+
 	default:
 		panic(fmt.Sprintf("workload: unknown scenario %v", sc))
 	}
 	return ops
+}
+
+// DictStreams splits an n-op scenario into `goroutines` independent
+// per-goroutine streams for concurrent load (internal/dictsrv): each
+// stream is generated with its own derived seed, so goroutine count
+// changes the interleaving but not any single stream's shape. Streams are
+// deterministic in (seed, scenario, goroutines, n, keyspace); the last
+// stream absorbs the remainder when goroutines does not divide n.
+func DictStreams(seed uint64, sc Scenario, goroutines, n int, keyspace int64) [][]dict.Op {
+	if goroutines < 1 {
+		panic(fmt.Sprintf("workload: DictStreams needs ≥ 1 goroutine, got %d", goroutines))
+	}
+	per := n / goroutines
+	streams := make([][]dict.Op, goroutines)
+	for g := range streams {
+		count := per
+		if g == goroutines-1 {
+			count = n - per*(goroutines-1)
+		}
+		r := NewRNG(seed + uint64(g)*0x9e3779b97f4a7c15)
+		streams[g] = DictOps(r, sc, count, keyspace)
+	}
+	return streams
 }
 
 // OpMix counts a stream's operations by kind; experiment tables report it
