@@ -50,3 +50,34 @@ func TestDictPredictionsPositive(t *testing.T) {
 		t.Errorf("B-tree predicted writes %.0f below one per update", bt.Writes)
 	}
 }
+
+// TestDictStallPredictions pins the deamortization story the EXP-L3
+// column tells: one node-flush (deamortized worst stall) is predicted to
+// cost a fraction of a full cascade + rebuild (amortized worst stall) at
+// every ω, and the amortized stall grows with ω — the deferral knob
+// concentrates ever more work into the pause.
+func TestDictStallPredictions(t *testing.T) {
+	params := func(omega int) DictParams {
+		return DictParams{
+			Params:   Params{N: 100000, Cfg: aem.Config{M: 128, B: 16, Omega: omega}},
+			Updates:  70000,
+			Keyspace: 4096,
+		}
+	}
+	prevAmort := 0.0
+	for _, omega := range []int{1, 4, 16, 64} {
+		p := params(omega)
+		amort := DictAmortizedStallPredicted(p).Cost(omega)
+		deam := DictDeamortizedStallPredicted(p).Cost(omega)
+		if amort <= 0 || deam <= 0 {
+			t.Fatalf("ω=%d: degenerate stall predictions amort=%.0f deam=%.0f", omega, amort, deam)
+		}
+		if 2*deam > amort {
+			t.Errorf("ω=%d: deamortized stall %.0f not well below amortized %.0f", omega, deam, amort)
+		}
+		if amort <= prevAmort {
+			t.Errorf("ω=%d: amortized stall %.0f did not grow from %.0f", omega, amort, prevAmort)
+		}
+		prevAmort = amort
+	}
+}

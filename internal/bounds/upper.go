@@ -257,6 +257,61 @@ func distinctCells(keys []int64, leaves, keyspace int64) float64 {
 	return float64(len(seen))
 }
 
+// DictAmortizedStallPredicted returns the predicted I/O bill of the worst
+// single commit-path stall in amortized (run-to-completion) mode: one full
+// root cascade — the flushed ω·M items rewritten once per internal level,
+// every touched leaf run rewritten once — plus the rebuild the cascade can
+// trigger (forceFlush + streaming every run into fresh leaves). This is
+// the whole amortized budget of one Θ(ωM) epoch landing in a single pause;
+// dividing by ωM recovers the familiar per-op amortized bound.
+func DictAmortizedStallPredicted(p DictParams) PredictedIO {
+	B, M, w := float64(p.Cfg.B), float64(p.Cfg.M), p.omega()
+	rootCap := w * M
+	leaves, height := p.dictGeometry()
+	levels := math.Max(height-1, 1)
+
+	// Cascade: each internal level streams the flushed items once (read +
+	// write), and the leaf applies read + rewrite every touched run.
+	reads := rootCap*(levels+1)/B + leaves*(M/2)/B
+	writes := reads
+
+	// Rebuild: runs are up to 2× bloated with tombstones when the rebuild
+	// condition trips; it reads them all and writes the live entries back.
+	live := math.Min(float64(p.Keyspace), float64(p.Updates))
+	reads += 2 * live / B
+	writes += live / B
+	return PredictedIO{Reads: reads, Writes: writes}
+}
+
+// DictDeamortizedStallPredicted returns the predicted I/O bill of the
+// worst single commit-path stall in deamortized mode: one node-flush. The
+// contenders are the root backstop (the root buffer partitioned at its
+// 2·ωM occupancy ceiling) and a heavy leaf apply (a typical worst dump of
+// rootCap/d + M/2 buffered items, externally sorted when it exceeds the
+// in-memory chunk, then merged into the run); the prediction is whichever
+// costs more. Everything else the old cascade did in the same pause —
+// the other levels, the other leaves, the rebuild — happens across other
+// batches or at idle.
+func DictDeamortizedStallPredicted(p DictParams) PredictedIO {
+	B, M, w := float64(p.Cfg.B), float64(p.Cfg.M), p.omega()
+	rootCap := w * M
+	d := float64(DictFanout(p.Cfg))
+
+	backstop := PredictedIO{Reads: 2*rootCap/B + 1, Writes: 2*rootCap/B + 1}
+
+	dump := rootCap/d + M/2
+	leaf := PredictedIO{Reads: (dump + M) / B, Writes: (dump + M) / B}
+	if dump > M/2 { // external sort of the oversized buffer
+		passes := math.Ceil(dump / M)
+		leaf.Reads += dump / B * passes
+		leaf.Writes += dump / B * passes
+	}
+	if leaf.Cost(p.Cfg.Omega) > backstop.Cost(p.Cfg.Omega) {
+		return leaf
+	}
+	return backstop
+}
+
 // DictBTreePredicted returns the predicted I/O counts of the unbatched
 // B-tree baseline: every operation reads a root-to-leaf path of
 // ~log_{B/2} of the live key count blocks, and every update rewrites its

@@ -21,10 +21,14 @@ import (
 //
 //	aem dictload -ops 2000000 -gor 8 -shards 4 -omega 16
 //	aem dictload -scenario drift -engine arena -json
+//	aem dictload -deamortize -json        (bounded-stall commit mode)
 //
 // Scenarios: uniform | zipf | sortedburst | deleteheavy | drift (default:
 // drift — the migrating-hot-set shape that keeps invalidating buffered
-// locality). Engines: any data-retaining engine (see `aem engines`).
+// locality) | flashcrowd. Engines: any data-retaining engine (see `aem
+// engines`). With -deamortize the committer pays flushes in bounded
+// installments (debt queue + FlushStep) instead of run-to-completion
+// cascades; compare two runs with `aem stallgate`.
 func dictloadCmd(prog string, args []string) int {
 	fs := flag.NewFlagSet(prog, flag.ExitOnError)
 	var (
@@ -33,10 +37,11 @@ func dictloadCmd(prog string, args []string) int {
 		shards   = fs.Int("shards", 4, "keyspace partitions (one machine + tree each)")
 		keyspace = fs.Int64("keyspace", 65536, "distinct-key domain size")
 		machine  = machineFlags(fs, 1024, 32, 16)
-		scenario = fs.String("scenario", "drift", "workload: uniform | zipf | sortedburst | deleteheavy | drift")
+		scenario = fs.String("scenario", "drift", "workload: uniform | zipf | sortedburst | deleteheavy | drift | flashcrowd")
 		engine   = fs.String("engine", "slice", "storage engine: "+strings.Join(aem.EngineNames(), " | "))
 		seed     = fs.Uint64("seed", 1, "workload seed")
 		maxBatch = fs.Int("maxbatch", 0, "group-commit batch cap (0 = service default)")
+		deam     = fs.Bool("deamortize", false, "bounded-stall commits: pay flushes in installments instead of cascades")
 		jsonOut  = fs.Bool("json", false, "emit one JSON report instead of the human summary")
 	)
 	fs.Parse(args)
@@ -57,12 +62,13 @@ func dictloadCmd(prog string, args []string) int {
 	}
 
 	svc, err := dictsrv.New(dictsrv.Config{
-		Shards:   *shards,
-		Machine:  cfg,
-		Engine:   *engine,
-		KeyLo:    0,
-		KeyHi:    *keyspace,
-		MaxBatch: *maxBatch,
+		Shards:     *shards,
+		Machine:    cfg,
+		Engine:     *engine,
+		KeyLo:      0,
+		KeyHi:      *keyspace,
+		MaxBatch:   *maxBatch,
+		Deamortize: *deam,
 	})
 	if err != nil {
 		fail(prog, "%v", err)
@@ -77,32 +83,15 @@ func dictloadCmd(prog string, args []string) int {
 	lat := harness.SummarizeLatencies(rep.LatencyNS)
 
 	if *jsonOut {
-		out := struct {
-			Type       string  `json:"type"` // "dictload"
-			Scenario   string  `json:"scenario"`
-			Engine     string  `json:"engine"`
-			Shards     int     `json:"shards"`
-			Goroutines int     `json:"goroutines"`
-			Ops        int64   `json:"ops"`
-			WallNS     int64   `json:"wall_ns"`
-			OpsPerSec  float64 `json:"ops_per_sec"`
-			P50NS      int64   `json:"p50_ns"`
-			P99NS      int64   `json:"p99_ns"`
-			MaxNS      int64   `json:"max_ns"`
-			MaxStallNS int64   `json:"max_stall_ns"`
-			Flushes    int64   `json:"flushes"`
-			Reads      int64   `json:"reads"`
-			Writes     int64   `json:"writes"`
-			SnapReads  int64   `json:"snap_reads"`
-			Cost       int64   `json:"cost"`
-			CostPerOp  float64 `json:"cost_per_op"`
-		}{
+		out := dictloadRecord{
 			Type: "dictload", Scenario: sc.String(), Engine: *engine,
-			Shards: *shards, Goroutines: rep.Goroutines,
+			Shards: *shards, Goroutines: rep.Goroutines, Deamortize: *deam,
 			Ops: rep.Ops, WallNS: rep.WallNS, OpsPerSec: rep.OpsPerSec(),
-			P50NS: lat.P50NS, P99NS: lat.P99NS, MaxNS: lat.MaxNS,
-			MaxStallNS: st.MaxFlushNS, Flushes: st.Flushes,
-			Reads: st.Reads, Writes: st.Writes, SnapReads: st.SnapReads,
+			P50NS: lat.P50NS, P99NS: lat.P99NS, P999NS: lat.P999NS, MaxNS: lat.MaxNS,
+			MaxStallNS: st.MaxStallNS, P999StallNS: st.Stalls.Quantile(0.999),
+			MaxFlushNS: st.MaxFlushNS, DebtHighWater: st.DebtHighWater,
+			Flushes: st.Flushes,
+			Reads:   st.Reads, Writes: st.Writes, SnapReads: st.SnapReads,
 			Cost: st.Cost, CostPerOp: float64(st.Cost) / float64(rep.Ops),
 		}
 		if err := json.NewEncoder(os.Stdout).Encode(&out); err != nil {
@@ -112,14 +101,20 @@ func dictloadCmd(prog string, args []string) int {
 		return 0
 	}
 
-	fmt.Printf("service      %d shard(s) of (M=%d, B=%d, ω=%d)-AEM on the %s engine, keyspace %d\n",
-		*shards, cfg.M, cfg.B, cfg.Omega, *engine, *keyspace)
+	mode := "amortized"
+	if *deam {
+		mode = "deamortized"
+	}
+	fmt.Printf("service      %d shard(s) of (M=%d, B=%d, ω=%d)-AEM on the %s engine, keyspace %d, %s commits\n",
+		*shards, cfg.M, cfg.B, cfg.Omega, *engine, *keyspace, mode)
 	fmt.Printf("load         %d ops from %d goroutine(s), %s workload (seed %d): %d updates / %d lookups (%d hits) / %d scans\n",
 		rep.Ops, rep.Goroutines, sc, *seed, rep.Updates, rep.Lookups, rep.Hits, rep.Scans)
 	fmt.Printf("throughput   %.0f ops/sec (%s wall)\n", rep.OpsPerSec(), harness.FmtNS(rep.WallNS))
-	fmt.Printf("latency      p50 %s   p99 %s   max %s\n",
-		harness.FmtNS(lat.P50NS), harness.FmtNS(lat.P99NS), harness.FmtNS(lat.MaxNS))
-	fmt.Printf("stalls       %d flush section(s), worst %s\n", st.Flushes, harness.FmtNS(st.MaxFlushNS))
+	fmt.Printf("latency      p50 %s   p99 %s   p99.9 %s   max %s\n",
+		harness.FmtNS(lat.P50NS), harness.FmtNS(lat.P99NS), harness.FmtNS(lat.P999NS), harness.FmtNS(lat.MaxNS))
+	fmt.Printf("stalls       worst commit stall %s   p99.9 %s   debt high-water %d   (%d flush section(s), worst %s)\n",
+		harness.FmtNS(st.MaxStallNS), harness.FmtNS(st.Stalls.Quantile(0.999)),
+		st.DebtHighWater, st.Flushes, harness.FmtNS(st.MaxFlushNS))
 	fmt.Printf("accounting   %d reads + %d snapshot reads + ω·%d writes = Q %d (%.2f per op)\n",
 		st.Reads, st.SnapReads, st.Writes, st.Cost, float64(st.Cost)/float64(rep.Ops))
 	return 0

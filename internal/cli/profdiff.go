@@ -1,0 +1,143 @@
+package cli
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// profEntry is one function line from `go tool pprof -top` output: the
+// flat self-percentage and the symbol name.
+type profEntry struct {
+	FlatPct float64
+	Name    string
+}
+
+// profdiffCmd diffs a pprof -top summary against a committed baseline
+// and fails when a function above -threshold flat% appears that the
+// baseline has never seen. This is the CI profile review: the hot-path
+// inventory is allowed to shift in weight, but a brand-new heavy
+// entrant (a fresh allocation site, an accidental O(n²) helper) has to
+// be looked at by a human and committed into the baseline deliberately.
+//
+//	go tool pprof -top -nodecount=15 ./aem cpu.pprof > profile_summary.txt
+//	aem profdiff -baseline testdata/profile_baseline.txt profile_summary.txt
+//
+// The baseline is just an earlier summary file: refresh it by copying
+// the current one over it and committing the diff. Exit codes: 0 pass,
+// 1 new heavy entrant, 2 usage error.
+func profdiffCmd(prog string, args []string) int {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "committed pprof -top summary to diff against (required)")
+		threshold    = fs.Float64("threshold", 10, "flat%% above which a function absent from the baseline fails the gate")
+	)
+	fs.Parse(args)
+
+	if *baselinePath == "" || fs.NArg() != 1 {
+		fail(prog, "usage: %s -baseline <committed.txt> [-threshold pct] <current.txt>", prog)
+		return 2
+	}
+	base, err := parseProfTop(*baselinePath)
+	if err != nil {
+		fail(prog, "%v", err)
+		return 2
+	}
+	cur, err := parseProfTop(fs.Arg(0))
+	if err != nil {
+		fail(prog, "%v", err)
+		return 2
+	}
+	if len(base) == 0 {
+		fail(prog, "%s: no pprof -top entries found", *baselinePath)
+		return 2
+	}
+	if len(cur) == 0 {
+		fail(prog, "%s: no pprof -top entries found", fs.Arg(0))
+		return 2
+	}
+
+	known := make(map[string]bool, len(base))
+	for _, e := range base {
+		known[e.Name] = true
+	}
+	var entrants []profEntry
+	for _, e := range cur {
+		if e.FlatPct > *threshold && !known[e.Name] {
+			entrants = append(entrants, e)
+		}
+	}
+	fmt.Printf("profdiff     %d baseline symbol(s), %d current, threshold %.1f%% flat\n",
+		len(base), len(cur), *threshold)
+	if len(entrants) == 0 {
+		fmt.Printf("ok           no new entrant above threshold\n")
+		return 0
+	}
+	for _, e := range entrants {
+		fmt.Printf("NEW          %6.2f%%  %s\n", e.FlatPct, e.Name)
+	}
+	fail(prog, "%d new function(s) above %.1f%% flat — profile them, then refresh %s deliberately",
+		len(entrants), *threshold, *baselinePath)
+	return 1
+}
+
+// parseProfTop extracts the function rows from `go tool pprof -top`
+// text. A row looks like
+//
+//	1.2s 40.00% 40.00%  1.5s 50.00%  repro/internal/dict.(*BufferTree).flushNode
+//
+// (flat, flat%, sum%, cum, cum%, name). Header/banner lines lack the
+// percent-shaped columns and are skipped, so a file that concatenates
+// several -top dumps (cpu + mem) parses as one inventory; a symbol seen
+// twice keeps its larger flat%.
+func parseProfTop(path string) ([]profEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seen := make(map[string]int)
+	var out []profEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 6 {
+			continue
+		}
+		pct, ok := parsePct(fields[1])
+		if !ok {
+			continue
+		}
+		if _, ok := parsePct(fields[2]); !ok { // sum% column confirms the shape
+			continue
+		}
+		name := strings.Join(fields[5:], " ")
+		if i, dup := seen[name]; dup {
+			if pct > out[i].FlatPct {
+				out[i].FlatPct = pct
+			}
+			continue
+		}
+		seen[name] = len(out)
+		out = append(out, profEntry{FlatPct: pct, Name: name})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return out, nil
+}
+
+func parsePct(s string) (float64, bool) {
+	if !strings.HasSuffix(s, "%") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

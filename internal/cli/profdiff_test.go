@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pprofTop fabricates a `go tool pprof -top` dump with the given
+// (flat%, name) rows under a realistic banner.
+func pprofTop(t *testing.T, dir, name string, rows ...string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("File: aem\nType: cpu\nTime: Aug 8, 2026 at 9:00am (UTC)\n")
+	b.WriteString("Showing nodes accounting for 2.40s, 80.00% of 3s total\n")
+	b.WriteString("Dropped 61 nodes (cum <= 0.015s)\n")
+	b.WriteString("Showing top 15 nodes out of 120\n")
+	b.WriteString("      flat  flat%   sum%        cum   cum%\n")
+	for _, r := range rows {
+		b.WriteString(r + "\n")
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func profdiffRun(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var code int
+	out := captureStdout(t, func() {
+		code = profdiffCmd("aem profdiff", args)
+	})
+	return code, string(out)
+}
+
+// TestProfdiffPassAndNewEntrant: known symbols may shift weight freely,
+// but a function above the threshold that the baseline has never seen
+// fails the gate and is named in the output.
+func TestProfdiffPassAndNewEntrant(t *testing.T) {
+	dir := t.TempDir()
+	base := pprofTop(t, dir, "baseline.txt",
+		"     1.20s 40.00% 40.00%      1.50s 50.00%  repro/internal/dict.(*BufferTree).flushNode",
+		"     0.60s 20.00% 60.00%      0.70s 23.33%  repro/internal/aem.(*Machine).Read",
+		"     0.30s 10.00% 70.00%      0.30s 10.00%  runtime.memmove",
+	)
+	// Same inventory, different weights: pass.
+	cur := pprofTop(t, dir, "cur.txt",
+		"     1.50s 50.00% 50.00%      1.80s 60.00%  repro/internal/aem.(*Machine).Read",
+		"     0.90s 30.00% 80.00%      1.00s 33.33%  repro/internal/dict.(*BufferTree).flushNode",
+	)
+	if code, out := profdiffRun(t, "-baseline", base, cur); code != 0 {
+		t.Fatalf("weight shift failed the gate (exit %d)\n%s", code, out)
+	}
+	// A 25% newcomer: fail and name it.
+	hot := pprofTop(t, dir, "hot.txt",
+		"     1.20s 40.00% 40.00%      1.50s 50.00%  repro/internal/dict.(*BufferTree).flushNode",
+		"     0.75s 25.00% 65.00%      0.80s 26.67%  repro/internal/dict.(*BufferTree).accidentalQuadratic",
+	)
+	code, out := profdiffRun(t, "-baseline", base, hot)
+	if code != 1 {
+		t.Fatalf("new 25%% entrant exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "accidentalQuadratic") || !strings.Contains(out, "NEW") {
+		t.Errorf("failure output does not name the entrant:\n%s", out)
+	}
+	// Below threshold the same newcomer is tolerated…
+	if code, _ := profdiffRun(t, "-baseline", base, "-threshold", "30", hot); code != 0 {
+		t.Error("25% entrant failed a 30% threshold")
+	}
+	// …and a tighter threshold catches smaller ones.
+	small := pprofTop(t, dir, "small.txt",
+		"     0.18s  6.00%  6.00%      0.20s  6.67%  repro/internal/dict.newLeak",
+	)
+	if code, _ := profdiffRun(t, "-baseline", base, "-threshold", "5", small); code != 1 {
+		t.Error("6% entrant passed a 5% threshold")
+	}
+}
+
+// TestProfdiffConcatenatedDumps: CI appends the cpu and mem -top dumps
+// into one summary file; both sections must parse, with " (inline)"
+// suffixes kept as part of the symbol and duplicates keeping max flat%.
+func TestProfdiffConcatenatedDumps(t *testing.T) {
+	dir := t.TempDir()
+	cpu := pprofTop(t, dir, "cpu.txt",
+		"     1.20s 40.00% 40.00%      1.50s 50.00%  runtime.mallocgc (inline)",
+	)
+	mem := pprofTop(t, dir, "mem.txt",
+		"  512.04MB 60.00% 60.00%   512.04MB 60.00%  repro/internal/dict.newChainWriter",
+		"  256.02MB 30.00% 90.00%   256.02MB 30.00%  runtime.mallocgc (inline)",
+	)
+	cpuRaw, _ := os.ReadFile(cpu)
+	memRaw, _ := os.ReadFile(mem)
+	both := filepath.Join(dir, "summary.txt")
+	if err := os.WriteFile(both, append(cpuRaw, memRaw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := parseProfTop(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, e := range entries {
+		got[e.Name] = e.FlatPct
+	}
+	if got["runtime.mallocgc (inline)"] != 40 {
+		t.Errorf("duplicate symbol flat%% = %v, want max 40", got["runtime.mallocgc (inline)"])
+	}
+	if got["repro/internal/dict.newChainWriter"] != 60 {
+		t.Errorf("mem section not parsed: %v", got)
+	}
+	// Self-diff of the concatenated file passes at any threshold.
+	if code, out := profdiffRun(t, "-baseline", both, "-threshold", "1", both); code != 0 {
+		t.Fatalf("self-diff failed (exit %d)\n%s", code, out)
+	}
+}
+
+// TestProfdiffUsageErrors: missing flags or empty inputs are usage
+// errors (exit 2), distinct from a gate failure.
+func TestProfdiffUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("File: aem\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := pprofTop(t, dir, "ok.txt",
+		"     1.20s 40.00% 40.00%      1.50s 50.00%  runtime.memmove",
+	)
+	if code, _ := profdiffRun(t, ok); code != 2 {
+		t.Error("missing -baseline accepted")
+	}
+	if code, _ := profdiffRun(t, "-baseline", ok); code != 2 {
+		t.Error("missing current file accepted")
+	}
+	if code, _ := profdiffRun(t, "-baseline", empty, ok); code != 2 {
+		t.Error("empty baseline accepted")
+	}
+	if code, _ := profdiffRun(t, "-baseline", ok, empty); code != 2 {
+		t.Error("empty current summary accepted")
+	}
+	if code, _ := profdiffRun(t, "-baseline", filepath.Join(dir, "missing.txt"), ok); code != 2 {
+		t.Error("missing baseline file accepted")
+	}
+}

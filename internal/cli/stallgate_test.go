@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeDictload writes one dictload -json record to a temp file and
+// returns the path. Extra JSON Lines noise rides along to pin the
+// last-record-wins, skip-foreign-types reading.
+func fakeDictload(t *testing.T, dir, name string, deam bool, stallNS int64, opsPerSec float64) string {
+	t.Helper()
+	rec := dictloadRecord{
+		Type: "dictload", Scenario: "drift", Engine: "slice",
+		Shards: 2, Goroutines: 1, Deamortize: deam,
+		Ops: 160000, OpsPerSec: opsPerSec,
+		MaxStallNS: stallNS, P999StallNS: stallNS / 2, DebtHighWater: 7,
+	}
+	raw, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := rec
+	stale.MaxStallNS = stallNS * 100 // must be shadowed by the later record
+	staleRaw, _ := json.Marshal(&stale)
+	content := `{"type":"gate","experiment":"EXP-X"}` + "\n" + string(staleRaw) + "\n" + string(raw) + "\n"
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func stallgateRun(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var code int
+	out := captureStdout(t, func() {
+		code = stallgateCmd("aem stallgate", args)
+	})
+	return code, string(out)
+}
+
+// TestStallgatePassAndRatioFail: a 12ms→0.5ms reduction at equal
+// throughput passes the default 10× gate; shrinking the reduction to 4×
+// must fail and name the stall check.
+func TestStallgatePassAndRatioFail(t *testing.T) {
+	dir := t.TempDir()
+	am := fakeDictload(t, dir, "am.json", false, 12_000_000, 96000)
+	de := fakeDictload(t, dir, "de.json", true, 500_000, 97000)
+	code, out := stallgateRun(t, "-amortized", am, "-deamortized", de)
+	if code != 0 {
+		t.Fatalf("24x reduction failed the 10x gate (exit %d)\n%s", code, out)
+	}
+	if !strings.Contains(out, "stall reduction 24.0×") {
+		t.Errorf("output lacks the measured ratio:\n%s", out)
+	}
+
+	weak := fakeDictload(t, dir, "weak.json", true, 3_000_000, 97000)
+	code, out = stallgateRun(t, "-amortized", am, "-deamortized", weak)
+	if code != 1 || !strings.Contains(out, "FAIL") || !strings.Contains(out, "stall reduction") {
+		t.Errorf("4x reduction exit %d, want 1 with a stall FAIL line\n%s", code, out)
+	}
+	// A custom -ratio flips the same comparison back to passing.
+	if code, _ := stallgateRun(t, "-amortized", am, "-deamortized", weak, "-ratio", "3"); code != 0 {
+		t.Error("4x reduction failed a 3x gate")
+	}
+}
+
+// TestStallgateThroughputFail: a deamortized run that gives up more than
+// the allowed throughput fraction fails even with a huge stall win.
+func TestStallgateThroughputFail(t *testing.T) {
+	dir := t.TempDir()
+	am := fakeDictload(t, dir, "am.json", false, 12_000_000, 100000)
+	slow := fakeDictload(t, dir, "slow.json", true, 100_000, 50000)
+	code, out := stallgateRun(t, "-amortized", am, "-deamortized", slow)
+	if code != 1 || !strings.Contains(out, "throughput") {
+		t.Errorf("half throughput exit %d, want 1 with a throughput FAIL\n%s", code, out)
+	}
+}
+
+// TestStallgateBaselineRoundTrip: -write-baseline pins the deamortized
+// stall; the same run gates at 1×, a 2× drift passes the default 3×
+// tolerance, and a 5× drift fails.
+func TestStallgateBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "stall_baseline.json")
+	am := fakeDictload(t, dir, "am.json", false, 12_000_000, 96000)
+	de := fakeDictload(t, dir, "de.json", true, 500_000, 97000)
+	if code, out := stallgateRun(t, "-amortized", am, "-deamortized", de, "-baseline", base, "-write-baseline"); code != 0 {
+		t.Fatalf("write-baseline exit %d\n%s", code, out)
+	}
+	pinned, err := readStallBaseline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.MaxStallNS != 500_000 {
+		t.Fatalf("pinned stall %d, want 500000", pinned.MaxStallNS)
+	}
+	if code, out := stallgateRun(t, "-amortized", am, "-deamortized", de, "-baseline", base); code != 0 {
+		t.Fatalf("self-gate exit %d\n%s", code, out)
+	}
+	drift := fakeDictload(t, dir, "drift.json", true, 1_000_000, 97000)
+	if code, _ := stallgateRun(t, "-amortized", am, "-deamortized", drift, "-baseline", base); code != 0 {
+		t.Error("2x baseline drift failed the 3x tolerance")
+	}
+	blown := fakeDictload(t, dir, "blown.json", true, 2_500_000, 97000)
+	code, out := stallgateRun(t, "-amortized", am, "-deamortized", blown, "-baseline", base)
+	if code != 1 || !strings.Contains(out, "baseline") {
+		t.Errorf("5x baseline drift exit %d, want 1 with a baseline FAIL\n%s", code, out)
+	}
+}
+
+// TestStallgateRejectsMislabeledLegs: feeding the gate two runs of the
+// same mode is a usage error (exit 2), not a comparison.
+func TestStallgateRejectsMislabeledLegs(t *testing.T) {
+	dir := t.TempDir()
+	am := fakeDictload(t, dir, "am.json", false, 12_000_000, 96000)
+	de := fakeDictload(t, dir, "de.json", true, 500_000, 97000)
+	if code, _ := stallgateRun(t, "-amortized", de, "-deamortized", de); code != 2 {
+		t.Errorf("deamortized record in the amortized slot: exit %d, want 2", code)
+	}
+	if code, _ := stallgateRun(t, "-amortized", am, "-deamortized", am); code != 2 {
+		t.Errorf("amortized record in the deamortized slot: exit %d, want 2", code)
+	}
+	if code, _ := stallgateRun(t, "-amortized", am); code != 2 {
+		t.Errorf("missing -deamortized: exit %d, want 2", code)
+	}
+}
+
+// TestStallgateJSONVerdict: -json appends one machine-readable verdict
+// record carrying the measured ratio and pass bit.
+func TestStallgateJSONVerdict(t *testing.T) {
+	dir := t.TempDir()
+	am := fakeDictload(t, dir, "am.json", false, 10_000_000, 96000)
+	de := fakeDictload(t, dir, "de.json", true, 500_000, 97000)
+	code, out := stallgateRun(t, "-amortized", am, "-deamortized", de, "-json")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var rec struct {
+		Type       string  `json:"type"`
+		Pass       bool    `json:"pass"`
+		StallRatio float64 `json:"stall_ratio"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); err != nil {
+		t.Fatalf("last stdout line is not JSON: %v\n%s", err, out)
+	}
+	if rec.Type != "stallgate" || !rec.Pass || rec.StallRatio != 20 {
+		t.Errorf("verdict record %+v, want pass at 20x", rec)
+	}
+}

@@ -71,8 +71,20 @@ type BufferTree struct {
 
 	// stage, when non-nil, holds the root buffer's partial tail block in
 	// internal memory (see EnableTailStaging): updates accumulate here and
-	// only full blocks are appended to the root chain.
-	stage []aem.Item
+	// only full blocks are appended to the root chain. stageFree marks a
+	// flush section that has already spilled the stage and released its
+	// reservation, so nested staged sections don't double spill.
+	stage     []aem.Item
+	stageFree bool
+
+	// debt is the queue of overfull nodes awaiting a flush, in the exact
+	// breadth-first order the old run-to-completion cascade visited them.
+	// In the default (amortized) mode the queue is drained to empty the
+	// moment the root buffer crosses its threshold; in deamortized mode
+	// (see Deamortize) the caller retires it incrementally via FlushStep.
+	debt        []*btnode
+	deamortized bool
+	nodeFlushes int64 // cumulative node-flushes (partition or leaf apply)
 }
 
 // EnableTailStaging switches the root buffer to staged appends: incoming
@@ -100,6 +112,48 @@ func (t *BufferTree) EnableTailStaging() {
 	}
 	t.ma.Reserve(t.cfg.B)
 	t.stage = make([]aem.Item, 0, t.cfg.B)
+	t.refitFanout()
+}
+
+// Deamortize switches the tree to incremental flushing: crossing the root
+// threshold enqueues the root on the debt queue instead of running the
+// cascade to completion, and the caller retires debt with FlushStep — at
+// most `budget` node-flushes per call — so the worst write-path stall is
+// one node-flush, not a full cascade. Total I/O accounting is unchanged:
+// the same node-flushes happen in the same order, just spread across
+// calls. Only the root-occupancy backstop differs: if debt is never
+// retired, the root buffer is force-flushed (one node-flush) at 2× its
+// threshold. Rebuilds never run on the incremental path; callers trigger
+// them at idle via Compact, and Flush keeps its drain-everything barrier
+// semantics. Must be called before the first Apply.
+func (t *BufferTree) Deamortize() {
+	if t.deamortized {
+		return
+	}
+	if t.seq != 0 {
+		panic("dict: Deamortize after updates were applied")
+	}
+	t.deamortized = true
+	t.refitFanout()
+}
+
+// refitFanout shrinks the fan-out when deamortized flushing and tail
+// staging are both on: an incremental non-root partition then runs with
+// the stage's B slots still reserved (spilling the stage on every step
+// would re-fragment the root chain), so the scan frame, d output frames
+// and d separator keys must fit beside it: d + (d+1)·B + B ≤ M.
+func (t *BufferTree) refitFanout() {
+	if !t.deamortized || t.stage == nil {
+		return
+	}
+	d := (t.cfg.M - 2*t.cfg.B) / (t.cfg.B + 1)
+	if m := t.cfg.BlocksInMemory(); d > m {
+		d = m
+	}
+	if d < 2 {
+		d = 2
+	}
+	t.fanout = d
 }
 
 // flushStage writes the staged tail (if any) to the root chain as one
@@ -117,13 +171,15 @@ func (t *BufferTree) flushStage() {
 // rebuild paths size their streaming frames to use all of M, and the
 // stage's B slots are genuinely free while it is empty.
 func (t *BufferTree) stagedSection(f func()) {
-	if t.stage == nil {
+	if t.stage == nil || t.stageFree {
 		f()
 		return
 	}
 	t.flushStage()
 	t.ma.Release(t.cfg.B)
+	t.stageFree = true
 	f()
+	t.stageFree = false
 	t.ma.Reserve(t.cfg.B)
 }
 
@@ -163,9 +219,10 @@ type btnode struct {
 	sepBase   aem.Addr // separator blocks (internal only)
 	sepBlocks int
 
-	buf   chain // pending updates, unordered
-	run   chain // leaf only: entries sorted by key, unique keys, incl. tombstones
-	liveN int   // leaf only: non-tombstone entries in run
+	buf    chain // pending updates, unordered
+	run    chain // leaf only: entries sorted by key, unique keys, incl. tombstones
+	liveN  int   // leaf only: non-tombstone entries in run
+	inDebt bool  // queued on the tree's debt queue (dedup flag)
 }
 
 func (nd *btnode) isLeaf() bool { return nd.kids == nil }
@@ -257,9 +314,14 @@ func (t *BufferTree) Flush() {
 	})
 }
 
-// update appends a run of Insert/Delete ops to the root buffer, cascading
-// every time the buffer reaches the ω·M threshold — also mid-batch, so a
-// single huge batch behaves exactly like the same ops trickling in.
+// update appends a run of Insert/Delete ops to the root buffer. Whenever
+// the buffer reaches the ω·M threshold — also mid-batch, so a single huge
+// batch behaves exactly like the same ops trickling in — the root joins
+// the debt queue. Amortized mode drains the queue to empty on the spot
+// (the classic run-to-completion cascade); deamortized mode leaves the
+// debt for FlushStep and only force-flushes the root itself (one
+// node-flush) if occupancy reaches 2× the threshold, preserving the
+// root-chain occupancy bound without a full cascade on the write path.
 func (t *BufferTree) update(ops []Op) {
 	for i := 0; i < len(ops); {
 		room := t.rootCap - t.rootPending()
@@ -270,10 +332,25 @@ func (t *BufferTree) update(ops []Op) {
 		t.appendUpdates(ops[i:j])
 		i = j
 		if t.rootPending() >= t.rootCap {
+			t.addDebt(t.top)
+			if t.deamortized {
+				// Backstop: occupancy must never outrun the debt queue's
+				// drain rate unboundedly. Each installment is a bounded
+				// O(chunkCap) root-prefix flush, so even a huge batch pays
+				// its excess in bounded stalls rather than one cascade.
+				for t.rootPending() >= 2*t.rootCap && t.top.buf.blocks() > 0 {
+					t.timeFlush(func() {
+						prev := t.ma.SetPhase("dict-flush")
+						t.flushRootStep()
+						t.ma.SetPhase(prev)
+					})
+				}
+				continue
+			}
 			t.timeFlush(func() {
 				t.stagedSection(func() {
 					prev := t.ma.SetPhase("dict-flush")
-					t.cascade()
+					t.drainDebt()
 					t.ma.SetPhase(prev)
 					t.maybeRebuild()
 				})
@@ -322,32 +399,223 @@ func (t *BufferTree) appendUpdates(ops []Op) {
 	t.ma.SetPhase(prev)
 }
 
-// cascade flushes the root buffer and then every buffer pushed over its
-// threshold, breadth-first. Processing is strictly one node at a time, so
-// the peak internal memory is one partition's (or one leaf apply's) worth.
-func (t *BufferTree) cascade() {
-	work := []*btnode{t.top}
-	for len(work) > 0 {
-		nd := work[0]
-		work = work[1:]
+// addDebt enqueues a node for flushing unless it is already queued.
+func (t *BufferTree) addDebt(nd *btnode) {
+	if nd.inDebt {
+		return
+	}
+	nd.inDebt = true
+	t.debt = append(t.debt, nd)
+}
+
+// Debt returns the number of queued node-flushes still owed. Entries
+// whose buffers have since been emptied (a forced root flush, a barrier)
+// may linger until popped; they are skipped for free by FlushStep.
+func (t *BufferTree) Debt() int { return len(t.debt) }
+
+// NodeFlushes returns the cumulative count of node-flushes (buffer
+// partitions and leaf applies) the tree has performed — the unit FlushStep
+// budgets in. Serving layers difference it across a commit batch to pin
+// the bounded-stall contract.
+func (t *BufferTree) NodeFlushes() int64 { return t.nodeFlushes }
+
+// drainDebt retires the whole debt queue: pop front, skip nodes whose
+// buffers emptied in the meantime, flush the rest. Seeded with the root,
+// this visits nodes in exactly the breadth-first order of the classic
+// run-to-completion cascade, so amortized-mode accounting is unchanged.
+func (t *BufferTree) drainDebt() {
+	for len(t.debt) > 0 {
+		nd := t.debt[0]
+		t.debt = t.debt[1:]
+		nd.inDebt = false
 		if nd.buf.n == 0 {
 			continue
 		}
-		if nd.isLeaf() {
-			t.applyLeaf(nd)
-			continue
-		}
-		t.partition(nd)
-		for _, kid := range nd.kids {
-			if kid.buf.n >= t.threshold(kid) {
-				work = append(work, kid)
+		t.flushNode(nd)
+	}
+}
+
+// FlushStep performs at most budget node-flushes from the debt queue and
+// returns how many it performed. Queue entries whose buffers are already
+// empty are discarded without counting toward the budget. Each step is
+// its own timed flush section, so a flush hook observes exactly the
+// bounded stall a caller pays. Children pushed over their threshold by a
+// step join the back of the queue; the caller keeps stepping (or calls
+// Flush) to retire them.
+func (t *BufferTree) FlushStep(budget int) int {
+	if budget <= 0 || len(t.debt) == 0 {
+		return 0
+	}
+	done := 0
+	t.timeFlush(func() {
+		prev := t.ma.SetPhase("dict-flush")
+		for done < budget && len(t.debt) > 0 {
+			nd := t.debt[0]
+			t.debt = t.debt[1:]
+			nd.inDebt = false
+			if nd.buf.n == 0 {
+				continue
 			}
+			if nd == t.top {
+				// The root's debt is Θ(ωM) items — the size of a whole
+				// cascade — so it is paid in bounded installments: flush
+				// the oldest ~chunkCap items, then rejoin the back of the
+				// queue until the chain is empty. Draining to empty (not
+				// merely below rootCap) matters doubly: it matches the
+				// amortized mode's average occupancy, and it keeps
+				// snapshot reads from scanning a permanently full root
+				// chain. Any flush order is safe because every entry
+				// carries its sequence number and winners are chosen by
+				// it.
+				t.flushRootStep()
+				if t.top.buf.blocks() > 0 {
+					t.addDebt(nd)
+				}
+			} else {
+				t.flushNode(nd)
+			}
+			done++
+		}
+		t.ma.SetPhase(prev)
+	})
+	return done
+}
+
+// flushRootStep flushes one bounded installment of the root buffer: the
+// oldest ⌈chunkCap/B⌉ chain blocks are partitioned among the children (or
+// merge-applied, while the tree is a single leaf), leaving the rest of the
+// chain — and the staged tail, which holds the newest partial block and
+// need not ride down — in place. This is the deamortized counterpart of a
+// full root flush: O(M) work per call instead of Θ(ωM).
+func (t *BufferTree) flushRootStep() {
+	nd := t.top
+	if nd.buf.blocks() == 0 {
+		return
+	}
+	stepBlocks := (t.chunkCap + t.cfg.B - 1) / t.cfg.B
+	if nd.isLeaf() {
+		t.applyLeafPrefix(nd, stepBlocks)
+		return
+	}
+	t.partitionPrefix(nd, stepBlocks)
+	for _, kid := range nd.kids {
+		if kid.buf.n >= t.threshold(kid) {
+			t.addDebt(kid)
+		}
+	}
+}
+
+// partitionPrefix distributes the items of a node's oldest maxBlocks chain
+// blocks among its children and detaches those blocks from the buffer.
+// Unlike partition it runs with the stage resident: the staged tail holds
+// newer items than any chain block, and refitFanout sized the fan-out so
+// d separators + (d+1) frames fit beside the stage's reserved block.
+func (t *BufferTree) partitionPrefix(nd *btnode, maxBlocks int) {
+	t.nodeFlushes++
+	k := maxBlocks
+	if k > nd.buf.blocks() {
+		k = nd.buf.blocks()
+	}
+	seps := t.readSeps(nd) // holds len(kids) slots until released below
+	d := len(nd.kids)
+	t.ma.Reserve((d + 1) * t.cfg.B)
+	prefix := chain{addrs: nd.buf.addrs[:k]}
+	scan := newChainScanner(t.ma, &prefix, t.frame)
+	writers := make([]*chainWriter, d)
+	for i, kid := range nd.kids {
+		writers[i] = newChainWriter(t.ma, &kid.buf, make([]aem.Item, 0, t.cfg.B))
+	}
+	moved := 0
+	for {
+		it, ok := scan.next()
+		if !ok {
+			break
+		}
+		moved++
+		writers[route(seps, it.Key)].append(it)
+	}
+	for _, w := range writers {
+		w.close()
+	}
+	nd.buf.addrs = nd.buf.addrs[k:]
+	nd.buf.n -= moved
+	t.ma.Release((d + 1) * t.cfg.B)
+	t.ma.Release(d) // separators
+}
+
+// applyLeafPrefix merge-applies the items of a leaf's oldest maxBlocks
+// chain blocks into its run and detaches those blocks. The prefix is at
+// most chunkCap+B items, so it sorts in internal memory — the external
+// mergesort path of a full applyLeaf is never needed for an installment.
+func (t *BufferTree) applyLeafPrefix(leaf *btnode, maxBlocks int) {
+	t.nodeFlushes++
+	k := maxBlocks
+	if k > leaf.buf.blocks() {
+		k = leaf.buf.blocks()
+	}
+	t.ma.Reserve(k*t.cfg.B + t.cfg.B)
+	prefix := chain{addrs: leaf.buf.addrs[:k]}
+	chunk := make([]aem.Item, 0, k*t.cfg.B)
+	scan := newChainScanner(t.ma, &prefix, t.frame)
+	for {
+		it, ok := scan.next()
+		if !ok {
+			break
+		}
+		chunk = append(chunk, it)
+	}
+	sortEntries(chunk)
+	i := 0
+	t.mergeApply(leaf, func() (aem.Item, bool) {
+		if i < len(chunk) {
+			i++
+			return chunk[i-1], true
+		}
+		return aem.Item{}, false
+	})
+	leaf.buf.addrs = leaf.buf.addrs[k:]
+	leaf.buf.n -= len(chunk)
+	t.ma.Release(k*t.cfg.B + t.cfg.B)
+}
+
+// flushNode performs one node-flush: partition an internal node's buffer
+// among its children (enqueuing any child pushed over its threshold), or
+// merge-apply a leaf's buffer into its run. The staging interplay is
+// per-node: flushing the root spills the stage first (its items belong to
+// the root buffer and ride the partition down); a big leaf apply spills
+// it too, because the external mergesort sizes itself to all of M; every
+// other case runs with the stage resident — refitFanout guarantees a
+// non-root partition fits beside it, and spilling on every step would
+// re-fragment the chain staging exists to defragment. Inside a section
+// that already spilled (amortized drains, barriers) the nested sections
+// are no-ops.
+func (t *BufferTree) flushNode(nd *btnode) {
+	if nd.buf.n == 0 {
+		return
+	}
+	if nd.isLeaf() {
+		if nd == t.top || nd.buf.n > t.chunkCap {
+			t.stagedSection(func() { t.applyLeaf(nd) })
+		} else {
+			t.applyLeaf(nd)
+		}
+		return
+	}
+	if nd == t.top {
+		t.stagedSection(func() { t.partition(nd) })
+	} else {
+		t.partition(nd)
+	}
+	for _, kid := range nd.kids {
+		if kid.buf.n >= t.threshold(kid) {
+			t.addDebt(kid)
 		}
 	}
 }
 
 // forceFlush pushes every buffer in the tree down to the leaves regardless
-// of thresholds.
+// of thresholds. Every buffer is empty afterwards, so any queued debt is
+// settled wholesale and the queue is cleared.
 func (t *BufferTree) forceFlush() {
 	level := []*btnode{t.top}
 	for len(level) > 0 {
@@ -366,6 +634,10 @@ func (t *BufferTree) forceFlush() {
 		}
 		level = next
 	}
+	for _, nd := range t.debt {
+		nd.inDebt = false
+	}
+	t.debt = t.debt[:0]
 }
 
 func (t *BufferTree) threshold(nd *btnode) int {
@@ -425,6 +697,7 @@ func route(seps []int64, k int64) int {
 // updates among the children's buffers: one scan frame in, d output frames
 // out, d separator keys resident.
 func (t *BufferTree) partition(nd *btnode) {
+	t.nodeFlushes++
 	seps := t.readSeps(nd) // holds len(kids) slots until released below
 	d := len(nd.kids)
 	t.ma.Reserve((d + 1) * t.cfg.B)
@@ -457,6 +730,7 @@ func (t *BufferTree) partition(nd *btnode) {
 // would-be write amplification into cheap read passes, exactly the trade
 // the model rewards.
 func (t *BufferTree) applyLeaf(leaf *btnode) {
+	t.nodeFlushes++
 	if leaf.buf.n <= t.chunkCap {
 		t.ma.Reserve(t.chunkCap + t.cfg.B)
 		chunk := make([]aem.Item, 0, leaf.buf.n)
@@ -559,26 +833,48 @@ func sortEntries(items []aem.Item) {
 	sort.Slice(items, func(i, j int) bool { return aem.Less(items[i], items[j]) })
 }
 
-// maybeRebuild rebuilds the skeleton when any leaf run outgrew 2× the
-// target leaf size, or when tombstones and overwrites have bloated the
-// runs to 2× the live entry count.
-func (t *BufferTree) maybeRebuild() {
-	need := t.runLen > 2*max(t.liveRun, t.leafCap)
-	if !need {
-		for _, leaf := range t.leaves() {
-			if leaf.run.n > 2*t.leafCap {
-				need = true
-				break
-			}
+// needRebuild reports whether the skeleton should be rebuilt: some leaf
+// run outgrew 2× the target leaf size, or tombstones and overwrites have
+// bloated the runs to 2× the live entry count. Structure walk, no I/O.
+func (t *BufferTree) needRebuild() bool {
+	if t.runLen > 2*max(t.liveRun, t.leafCap) {
+		return true
+	}
+	for _, leaf := range t.leaves() {
+		if leaf.run.n > 2*t.leafCap {
+			return true
 		}
 	}
-	if !need {
+	return false
+}
+
+// maybeRebuild rebuilds the skeleton when needRebuild says so.
+func (t *BufferTree) maybeRebuild() {
+	if !t.needRebuild() {
 		return
 	}
 	prev := t.ma.SetPhase("dict-rebuild")
 	t.forceFlush()
 	t.rebuild()
 	t.ma.SetPhase(prev)
+}
+
+// Compact runs the rebuild check off the commit path. Deamortized callers
+// invoke it at idle — the incremental path (FlushStep, the 2× root
+// backstop) never rebuilds, because a rebuild replaces the node structure
+// the debt queue points into, so Compact declines while debt is
+// outstanding. Returns whether a rebuild ran; when it does, it is a full
+// flush-and-rebuild stall, which is exactly why it belongs at idle.
+func (t *BufferTree) Compact() bool {
+	if len(t.debt) > 0 || !t.needRebuild() {
+		return false
+	}
+	t.timeFlush(func() {
+		t.stagedSection(func() {
+			t.maybeRebuild()
+		})
+	})
+	return true
 }
 
 // leaves returns the tree's leaves in key order (structure walk, no I/O).

@@ -1,0 +1,206 @@
+package dict
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aem"
+	"repro/internal/rng"
+)
+
+// TestFlushStepBudget is the bounded-stall contract at the tree level: a
+// deamortized tree charged one FlushStep(1) per serving-sized batch never
+// performs more than one node-flush per batch outside the 2× backstop,
+// while queries, snapshots and the final barrier all stay model-correct
+// with debt outstanding.
+func TestFlushStepBudget(t *testing.T) {
+	r := rng.New(17)
+	cfg := aem.Config{M: 128, B: 16, Omega: 8}
+	ma := aem.New(cfg)
+	tree := NewBufferTree(ma)
+	tree.EnableTailStaging()
+	tree.Deamortize()
+	reader := machineReader{ma}
+	model := map[int64]int64{}
+
+	const keyspace = 512
+	ops := diffStream(23, 20000, keyspace)
+	sawDebt := false
+	for i := 0; i < len(ops); {
+		j := i + 1 + r.Intn(7)
+		if j > len(ops) {
+			j = len(ops)
+		}
+		batch := ops[i:j]
+		for _, op := range batch {
+			switch op.Kind {
+			case Insert:
+				model[op.Key] = op.Value
+			case Delete:
+				delete(model, op.Key)
+			}
+		}
+		before := tree.NodeFlushes()
+		tree.Apply(batch)
+		if d := tree.NodeFlushes() - before; d > 1 {
+			t.Fatalf("Apply of %d ops performed %d node-flushes; the backstop allows at most 1", len(batch), d)
+		}
+		if tree.Debt() > 0 {
+			sawDebt = true
+		}
+		before = tree.NodeFlushes()
+		stepped := tree.FlushStep(1)
+		if d := tree.NodeFlushes() - before; d != int64(stepped) || d > 1 {
+			t.Fatalf("FlushStep(1) reported %d steps but performed %d node-flushes", stepped, d)
+		}
+		if tree.Debt() == 0 && r.Intn(20) == 0 {
+			tree.Compact() // what a committer does at idle
+		}
+		i = j
+
+		if r.Intn(40) == 0 {
+			// Live lookups and snapshot reads must see through pending debt.
+			k := int64(r.Intn(keyspace))
+			res := tree.Apply([]Op{{Kind: Lookup, Key: k}})
+			want, wantOK := model[k]
+			if res[0].OK != wantOK || (wantOK && res[0].Value != want) {
+				t.Fatalf("mid-debt Lookup(%d) = (%d,%v), model (%d,%v)", k, res[0].Value, res[0].OK, want, wantOK)
+			}
+			snap := tree.Snapshot()
+			got, ok, _ := snap.Get(reader, k, nil)
+			if ok != wantOK || (wantOK && got != want) {
+				t.Fatalf("mid-debt snapshot Get(%d) = (%d,%v), model (%d,%v)", k, got, ok, want, wantOK)
+			}
+		}
+	}
+	if !sawDebt {
+		t.Fatal("stream never left debt outstanding; the deamortized path was not exercised")
+	}
+
+	tree.Flush()
+	if tree.Debt() != 0 {
+		t.Fatalf("Flush left %d debt entries", tree.Debt())
+	}
+	for k := int64(0); k < keyspace; k++ {
+		snap := tree.Snapshot()
+		got, ok, _ := snap.Get(reader, k, nil)
+		want, wantOK := model[k]
+		if ok != wantOK || (wantOK && got != want) {
+			t.Fatalf("post-barrier Get(%d) = (%d,%v), model (%d,%v)", k, got, ok, want, wantOK)
+		}
+	}
+	if peak := ma.MemPeak(); peak > cfg.M {
+		t.Fatalf("MemPeak %d exceeds M=%d", peak, cfg.M)
+	}
+}
+
+// TestDeamortizedRootBackstop pins the occupancy bound when the caller
+// never steps: the root buffer is force-flushed (one node-flush) at 2× its
+// threshold, so pending root items stay below 2·rootCap + one append chunk
+// no matter how much debt accumulates below.
+func TestDeamortizedRootBackstop(t *testing.T) {
+	cfg := aem.Config{M: 64, B: 8, Omega: 4}
+	ma := aem.New(cfg)
+	tree := NewBufferTree(ma)
+	tree.EnableTailStaging()
+	tree.Deamortize()
+
+	var stalls int
+	var worst time.Duration
+	tree.SetFlushHook(func(d time.Duration) {
+		stalls++
+		if d > worst {
+			worst = d
+		}
+	})
+
+	ops := diffStream(31, 8*tree.RootCap(), 4096)
+	bound := 2*tree.RootCap() + cfg.B
+	for i := 0; i < len(ops); i += 16 {
+		j := min(len(ops), i+16)
+		tree.Apply(ops[i:j])
+		if p := tree.rootPending(); p > bound {
+			t.Fatalf("root pending %d exceeds backstop bound %d", p, bound)
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("backstop never fired over an 8×rootCap stream")
+	}
+	if tree.Debt() == 0 {
+		t.Fatal("unstepped deamortized stream accumulated no debt")
+	}
+	tree.Flush()
+	if tree.Debt() != 0 || tree.rootPending() != 0 {
+		t.Fatalf("barrier left debt=%d pending=%d", tree.Debt(), tree.rootPending())
+	}
+}
+
+// TestDeamortizedMatchesAmortized applies one stream to an amortized and a
+// deamortized tree (both staged, stepped per batch) and requires identical
+// final answers, with the deamortized total cost within 2× — deferral may
+// reorder node-flushes but must not change the asymptotics.
+func TestDeamortizedMatchesAmortized(t *testing.T) {
+	cfg := aem.Config{M: 128, B: 16, Omega: 16}
+	build := func(deam bool) (*aem.Machine, *BufferTree) {
+		ma := aem.New(cfg)
+		tree := NewBufferTree(ma)
+		tree.EnableTailStaging()
+		if deam {
+			tree.Deamortize()
+		}
+		return ma, tree
+	}
+	maA, amortized := build(false)
+	maD, deamortized := build(true)
+
+	ops := diffStream(41, 30000, 1024)
+	r := rng.New(3)
+	for i := 0; i < len(ops); {
+		j := i + 1 + r.Intn(15)
+		if j > len(ops) {
+			j = len(ops)
+		}
+		resA := amortized.Apply(ops[i:j])
+		resD := deamortized.Apply(ops[i:j])
+		deamortized.FlushStep(1)
+		if deamortized.Debt() == 0 {
+			// The committer compacts when the write channel idles; without
+			// it the deamortized tree would stay a single leaf and pay a
+			// full run rewrite per installment.
+			deamortized.Compact()
+		}
+		if len(resA) != len(resD) {
+			t.Fatalf("result counts differ: %d vs %d", len(resA), len(resD))
+		}
+		for qi := range resA {
+			if resA[qi].OK != resD[qi].OK || resA[qi].Value != resD[qi].Value || len(resA[qi].Hits) != len(resD[qi].Hits) {
+				t.Fatalf("query %d diverged: %+v vs %+v", qi, resA[qi], resD[qi])
+			}
+		}
+		i = j
+	}
+	amortized.Flush()
+	deamortized.Flush()
+	if amortized.Len() != deamortized.Len() {
+		t.Fatalf("Len diverged: %d vs %d", amortized.Len(), deamortized.Len())
+	}
+	costA := maA.Stats().Cost(cfg.Omega)
+	costD := maD.Stats().Cost(cfg.Omega)
+	if costD > 2*costA {
+		t.Fatalf("deamortized cost %d more than 2× amortized %d", costD, costA)
+	}
+}
+
+// TestDeamortizeGuards pins the enable-time contract, mirroring
+// TestTailStagingGuards.
+func TestDeamortizeGuards(t *testing.T) {
+	ma := aem.New(aem.Config{M: 128, B: 8, Omega: 2})
+	tree := NewBufferTree(ma)
+	tree.Apply([]Op{{Kind: Insert, Key: 1, Value: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Deamortize after Apply did not panic")
+		}
+	}()
+	tree.Deamortize()
+}

@@ -77,6 +77,15 @@ type Config struct {
 	// (0 = 1024). Bigger batches amortize better; smaller bound the
 	// latency one batch can add to its waiters.
 	MaxBatch int
+
+	// Deamortize bounds the commit-path stall: each shard tree runs in
+	// incremental-flush mode (dict.BufferTree.Deamortize), the committer
+	// pays at most one FlushStep(1) — one node-flush — per batch, and
+	// remaining debt is retired opportunistically while the write channel
+	// is empty (with Compact's rebuild check once the queue drains). The
+	// same node-flushes happen either way; deamortizing spreads them so a
+	// commit batch never stalls behind a full cascade.
+	Deamortize bool
 }
 
 // Ack answers a completed write: where it committed and what it cost the
@@ -125,7 +134,19 @@ type Stats struct {
 	SnapReads  int64 // snapshot block reads (serve path)
 	Cost       int64 // Σ machine (reads + ω·writes) + SnapReads
 	Flushes    int64 // top-level flush sections across all shards
-	MaxFlushNS int64 // the worst single flush pause
+	MaxFlushNS int64 // the worst single flush section (barriers included)
+
+	// Commit-path stall accounting: how long each batch's waiters sat
+	// behind the tree work (Apply plus, when deamortized, one FlushStep),
+	// excluding explicit Flush barriers. MaxStallNS and Stalls are the
+	// deamortization headline: amortized mode pays whole cascades here,
+	// deamortized mode at most one node-flush plus the rare root backstop.
+	MaxStallNS    int64
+	Stalls        Hist  // per-batch commit stalls, power-of-two ns buckets
+	Debt          int64 // queued node-flushes right now, summed over shards
+	DebtHighWater int64 // worst per-shard debt sampled after any batch
+	BatchFlushes  int64 // worst node-flush count any non-barrier batch paid
+	Deamortized   bool
 }
 
 // lockedStorage wraps a shard's engine so snapshot readers and the
@@ -193,6 +214,13 @@ type shard struct {
 	flushes    atomic.Int64
 	maxFlushNS atomic.Int64
 
+	// Committer-written, atomically readable stall/debt telemetry.
+	stalls       stallHist
+	maxStallNS   atomic.Int64
+	debt         atomic.Int64
+	debtHW       atomic.Int64
+	batchFlushes atomic.Int64 // worst node-flushes one non-barrier batch paid
+
 	scratch sync.Pool // *dict.GetScratch
 }
 
@@ -256,6 +284,9 @@ func New(cfg Config) (*Service, error) {
 		// fragmenting the buffer chain into mostly-empty blocks that every
 		// snapshot read would then scan.
 		sh.tree.EnableTailStaging()
+		if cfg.Deamortize {
+			sh.tree.Deamortize()
+		}
 		sh.scratch.New = func() interface{} { return dict.NewGetScratch(cfg.Machine.B) }
 		sh.tree.SetFlushHook(func(d time.Duration) {
 			sh.flushes.Add(1)
@@ -315,12 +346,47 @@ func (s *Service) shardRange(i int) (lo, hi int64) {
 // Apply it, assign commit positions, publish the post-batch snapshot,
 // then wake every waiter. Publishing before waking is what gives
 // sessions read-your-own-writes through snapshots.
+//
+// In deamortized mode the batch additionally pays exactly one FlushStep —
+// one node-flush toward the tree's debt — and the loop retires the rest
+// while the channel is empty: each idle iteration flushes one more node,
+// re-checking the channel in between so an arriving writer waits behind
+// at most one node-flush, never a cascade. When the debt queue drains,
+// the rebuild check (Compact) runs in the same idle slot, and a fresh
+// snapshot is published so readers descend the compacted structure.
 func (s *Service) commitLoop(sh *shard) {
 	defer s.wg.Done()
 	batch := make([]*writeReq, 0, s.cfg.MaxBatch)
 	ops := make([]dict.Op, 0, s.cfg.MaxBatch)
 	writers := make([]*writeReq, 0, s.cfg.MaxBatch)
-	for first := range sh.reqs {
+	for {
+		var first *writeReq
+		var ok bool
+		if s.cfg.Deamortize {
+			select {
+			case first, ok = <-sh.reqs:
+			default:
+				if sh.tree.Debt() > 0 {
+					sh.tree.FlushStep(1)
+					sh.debt.Store(int64(sh.tree.Debt()))
+					continue
+				}
+				if sh.tree.Compact() {
+					// A rebuild compacted the runs; republish so readers
+					// descend the fresh structure (same watermark — the
+					// logical contents are unchanged).
+					st := sh.snap.Load()
+					sh.snap.Store(&snapState{snap: sh.tree.Snapshot(), watermark: st.watermark})
+					continue
+				}
+				first, ok = <-sh.reqs // debt settled, runs compact: block
+			}
+		} else {
+			first, ok = <-sh.reqs
+		}
+		if !ok {
+			return
+		}
 		batch = append(batch[:0], first)
 	drain:
 		for len(batch) < s.cfg.MaxBatch {
@@ -345,10 +411,32 @@ func (s *Service) commitLoop(sh *shard) {
 			writers = append(writers, r)
 		}
 		if len(ops) > 0 {
+			// The commit-path stall: tree work the batch's waiters (and any
+			// writer queued behind them) cannot overtake. Explicit barriers
+			// below are priced separately (MaxFlushNS), they are not stalls
+			// the write path inflicts on its own.
+			nf := sh.tree.NodeFlushes()
+			start := time.Now()
 			sh.tree.Apply(ops)
+			if debt := int64(sh.tree.Debt()); debt > sh.debtHW.Load() {
+				sh.debtHW.Store(debt) // peak owed, before the step retires one
+			}
+			if s.cfg.Deamortize {
+				sh.tree.FlushStep(1)
+			}
+			stall := time.Since(start).Nanoseconds()
+			sh.stalls.record(stall)
+			if stall > sh.maxStallNS.Load() { // single writer
+				sh.maxStallNS.Store(stall)
+			}
+			if d := sh.tree.NodeFlushes() - nf; d > sh.batchFlushes.Load() {
+				sh.batchFlushes.Store(d)
+			}
+			sh.debt.Store(int64(sh.tree.Debt()))
 		}
 		if doFlush {
 			sh.tree.Flush()
+			sh.debt.Store(0)
 		}
 		base := sh.committed.Load()
 		for i, r := range writers {
@@ -509,6 +597,7 @@ func (s *Service) ShardWatermark(i int) int64 { return s.shards[i].snap.Load().w
 func (s *Service) Stats() Stats {
 	var out Stats
 	out.Shards = len(s.shards)
+	out.Deamortized = s.cfg.Deamortize
 	for _, sh := range s.shards {
 		st := sh.ma.Stats()
 		out.Committed += sh.committed.Load()
@@ -519,6 +608,17 @@ func (s *Service) Stats() Stats {
 		out.Flushes += sh.flushes.Load()
 		if m := sh.maxFlushNS.Load(); m > out.MaxFlushNS {
 			out.MaxFlushNS = m
+		}
+		if m := sh.maxStallNS.Load(); m > out.MaxStallNS {
+			out.MaxStallNS = m
+		}
+		out.Stalls.merge(sh.stalls.snapshot())
+		out.Debt += sh.debt.Load()
+		if d := sh.debtHW.Load(); d > out.DebtHighWater {
+			out.DebtHighWater = d
+		}
+		if f := sh.batchFlushes.Load(); f > out.BatchFlushes {
+			out.BatchFlushes = f
 		}
 	}
 	out.Cost += out.SnapReads

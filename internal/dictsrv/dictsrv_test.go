@@ -122,6 +122,16 @@ type opRecord struct {
 // (the repo race job runs all tests), which also holds the
 // snapshot-vs-committer memory claims.
 func TestLinearizability(t *testing.T) {
+	for _, deam := range []bool{false, true} {
+		name := "amortized"
+		if deam {
+			name = "deamortized"
+		}
+		t.Run(name, func(t *testing.T) { runLinearizability(t, deam) })
+	}
+}
+
+func runLinearizability(t *testing.T, deamortize bool) {
 	const (
 		goroutines = 8
 		perG       = 2500
@@ -131,6 +141,7 @@ func TestLinearizability(t *testing.T) {
 	cfg := testConfig(shards)
 	cfg.KeyHi = keyspace
 	cfg.MaxBatch = 64 // small batches → many snapshot publishes → more schedules
+	cfg.Deamortize = deamortize
 	svc, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -280,11 +291,22 @@ func sortByWatermark(recs []opRecord) {
 // ω maximizes flush frequency; any unsynchronized engine access or
 // snapshot instability trips the race detector or miscompares.
 func TestLookupDuringFlushHammer(t *testing.T) {
+	for _, deam := range []bool{false, true} {
+		name := "amortized"
+		if deam {
+			name = "deamortized"
+		}
+		t.Run(name, func(t *testing.T) { runLookupDuringFlushHammer(t, deam) })
+	}
+}
+
+func runLookupDuringFlushHammer(t *testing.T, deamortize bool) {
 	cfg := Config{
 		Shards:  2,
 		Machine: aem.Config{M: 64, B: 8, Omega: 16},
 		KeyLo:   0, KeyHi: 512,
-		MaxBatch: 32,
+		MaxBatch:   32,
+		Deamortize: deamortize,
 	}
 	svc, err := New(cfg)
 	if err != nil {
@@ -343,25 +365,85 @@ func TestLookupDuringFlushHammer(t *testing.T) {
 // read path: once scratch is pooled and the snapshot is warm, Get must
 // not allocate.
 func TestGetSteadyStateAllocs(t *testing.T) {
-	svc, err := New(testConfig(2))
-	if err != nil {
-		t.Fatal(err)
+	for _, deam := range []bool{false, true} {
+		name := "amortized"
+		if deam {
+			name = "deamortized"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(2)
+			cfg.Deamortize = deam
+			svc, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+			for k := int64(0); k < 2048; k++ {
+				svc.Put(k, k)
+			}
+			// Warm the scratch pools on both shards.
+			for k := int64(0); k < 64; k++ {
+				svc.Get(k * 64)
+			}
+			var k int64
+			avg := testing.AllocsPerRun(200, func() {
+				svc.Get(k % 4096)
+				k += 37
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state Get allocates %.1f per op, want 0", avg)
+			}
+		})
 	}
-	defer svc.Close()
-	for k := int64(0); k < 2048; k++ {
-		svc.Put(k, k)
+}
+
+// TestBoundedStallRegression is the deamortization contract at the
+// service level: with Deamortize on, no non-barrier commit batch performs
+// more than 2 node-flushes — the budgeted FlushStep(1) plus at most one
+// 2×rootCap root backstop, each an individually bounded stall — while the
+// amortized service pays whole cascades per batch. The stall histogram
+// and debt gauges must be populated. (Answer correctness under
+// concurrency is TestLinearizability's job, in both modes.)
+func TestBoundedStallRegression(t *testing.T) {
+	run := func(deam bool) Stats {
+		cfg := testConfig(2)
+		cfg.Machine = aem.Config{M: 128, B: 16, Omega: 16}
+		cfg.KeyHi = 1024
+		cfg.MaxBatch = 32
+		cfg.Deamortize = deam
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams := workload.DictStreams(9, workload.DriftOps, 4, 40000, 1024)
+		RunLoad(svc, streams)
+		st := svc.Stats() // before the barrier: commit-path telemetry only
+		svc.Flush()
+		svc.Close()
+		return st
 	}
-	// Warm the scratch pools on both shards.
-	for k := int64(0); k < 64; k++ {
-		svc.Get(k * 64)
+	amortized := run(false)
+	deamortized := run(true)
+
+	if deamortized.BatchFlushes > 2 {
+		t.Fatalf("deamortized batch performed %d node-flushes, want ≤ 2 (budget + backstop)",
+			deamortized.BatchFlushes)
 	}
-	var k int64
-	avg := testing.AllocsPerRun(200, func() {
-		svc.Get(k % 4096)
-		k += 37
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state Get allocates %.1f per op, want 0", avg)
+	if amortized.BatchFlushes <= 2 {
+		t.Fatalf("amortized batches peaked at %d node-flushes — the workload never cascaded, weaken nothing, grow the stream",
+			amortized.BatchFlushes)
+	}
+	if deamortized.Stalls.N == 0 || deamortized.MaxStallNS <= 0 {
+		t.Fatalf("stall histogram empty: %+v", deamortized.Stalls)
+	}
+	if q := deamortized.Stalls.Quantile(0.999); q <= 0 || q > deamortized.MaxStallNS {
+		t.Fatalf("p99.9 stall %d outside (0, max=%d]", q, deamortized.MaxStallNS)
+	}
+	if deamortized.DebtHighWater == 0 {
+		t.Fatal("deamortized run accumulated no debt; the incremental path was not exercised")
+	}
+	if !deamortized.Deamortized || amortized.Deamortized {
+		t.Fatal("Stats.Deamortized mislabeled")
 	}
 }
 

@@ -24,7 +24,7 @@ import (
 // so the default `aem bench` output and its recorded goldens are
 // unaffected by their presence.
 func Aux() []*Spec {
-	return []*Spec{specBE1(), specBE2(), specMG1(), specIO1(), specIO2(), specL1(), specL2()}
+	return []*Spec{specBE1(), specBE2(), specMG1(), specIO1(), specIO2(), specL1(), specL2(), specL3()}
 }
 
 // backendNames spans the storage-backend axis: every registered engine.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/aem"
+	"repro/internal/bounds"
 	"repro/internal/dictsrv"
 	"repro/internal/workload"
 )
@@ -25,20 +26,24 @@ import (
 
 // latencyCols renders one load run's latency summary as table cells.
 func latencyCols(s LatencySummary) []interface{} {
-	return []interface{}{FmtNS(s.P50NS), FmtNS(s.P99NS), FmtNS(s.MaxNS)}
+	return []interface{}{FmtNS(s.P50NS), FmtNS(s.P99NS), FmtNS(s.P999NS), FmtNS(s.MaxNS)}
 }
 
 // serveRow drives one concurrent load point: build the service, run the
-// streams, and return the standard serving measurements.
-func serveRow(cfg dictsrv.Config, goroutines, nOps int, seed uint64) (dictsrv.LoadReport, dictsrv.Stats, LatencySummary) {
+// streams, and return the standard serving measurements. Commit-path
+// stall telemetry (MaxStallNS, the stall histogram, debt gauges) excludes
+// explicit barriers by construction, so the closing Flush — which folds
+// the tail of buffered work into the cost accounting — does not pollute
+// the stall columns.
+func serveRow(cfg dictsrv.Config, sc workload.Scenario, goroutines, nOps int, seed uint64) (dictsrv.LoadReport, dictsrv.Stats, LatencySummary) {
 	svc, err := dictsrv.New(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("harness: serving point: %v", err))
 	}
 	defer svc.Close()
-	streams := workload.DictStreams(seed, workload.DriftOps, goroutines, nOps, cfg.KeyHi)
+	streams := workload.DictStreams(seed, sc, goroutines, nOps, cfg.KeyHi)
 	rep := dictsrv.RunLoad(svc, streams)
-	svc.Flush() // fold the tail of buffered work into the accounting
+	svc.Flush()
 	st := svc.Stats()
 	return rep, st, SummarizeLatencies(rep.LatencyNS)
 }
@@ -59,7 +64,7 @@ func specL1() *Spec {
 		Axes: []Axis{
 			{Name: "omega", Values: Ints(1, 4, 16, 64)},
 		},
-		Columns: Cols("ω", "ops", "flushes", "writes/op", "cost/op", "p50", "p99", "max", "max stall"),
+		Columns: Cols("ω", "ops", "flushes", "writes/op", "cost/op", "p50", "p99", "p99.9", "max", "max stall"),
 		Point: func(p Point) Row {
 			omega := p.Int("omega")
 			cfg := dictsrv.Config{
@@ -67,7 +72,7 @@ func specL1() *Spec {
 				Machine: aem.Config{M: 128, B: 16, Omega: omega},
 				KeyLo:   0, KeyHi: keyspace,
 			}
-			rep, st, lat := serveRow(cfg, goroutines, nOps, Seed+40)
+			rep, st, lat := serveRow(cfg, workload.DriftOps, goroutines, nOps, Seed+40)
 			row := Row{omega, rep.Ops, st.Flushes,
 				fmt.Sprintf("%.3f", float64(st.Writes)/float64(rep.Ops)),
 				fmt.Sprintf("%.1f", float64(st.Cost)/float64(rep.Ops))}
@@ -97,7 +102,7 @@ func specL2() *Spec {
 			{Name: "shards", Values: Ints(1, 4)},
 			{Name: "gor", Values: Ints(1, 4, 16)},
 		},
-		Columns: Cols("shards", "gor", "ops", "ops/sec", "cost/op", "p50", "p99", "max"),
+		Columns: Cols("shards", "gor", "ops", "ops/sec", "cost/op", "p50", "p99", "p99.9", "max"),
 		Point: func(p Point) Row {
 			shards, gor := p.Int("shards"), p.Int("gor")
 			cfg := dictsrv.Config{
@@ -105,7 +110,7 @@ func specL2() *Spec {
 				Machine: aem.Config{M: 128, B: 16, Omega: omega},
 				KeyLo:   0, KeyHi: keyspace,
 			}
-			rep, st, lat := serveRow(cfg, gor, nOps, Seed+41)
+			rep, st, lat := serveRow(cfg, workload.DriftOps, gor, nOps, Seed+41)
 			row := Row{shards, gor, rep.Ops,
 				fmt.Sprintf("%.0f", rep.OpsPerSec()),
 				fmt.Sprintf("%.1f", float64(st.Cost)/float64(rep.Ops))}
@@ -114,6 +119,77 @@ func specL2() *Spec {
 		Notes: []string{
 			fmt.Sprintf("drift workload at ω=%d, %d ops per point; goroutines share the service, not a stream — the op mix is fixed while the interleaving scales", omega, nOps),
 			"wall-clock cells are machine-dependent; read the table for its shape across the grid, not the absolute numbers",
+		},
+	}
+}
+
+func specL3() *Spec {
+	// Dictload scale (M=1024, B=32) rather than EXP-L1's small trees: the
+	// deamortization story lives where cascades are big. One writer, so
+	// the stall columns time tree work, not scheduler noise — a commit
+	// batch is one op and its budgeted flush step, nothing else.
+	const (
+		shards     = 2
+		goroutines = 1
+		nOps       = 160000
+		keyspace   = 65536
+	)
+	// Per-shard workload description for the stall predictors: sharding
+	// splits both the op stream and the live keys roughly evenly, and the
+	// drift/flashcrowd generators are ~3/4 updates by construction.
+	stallParams := func(omega int) bounds.DictParams {
+		return bounds.DictParams{
+			Params:   bounds.Params{N: nOps / shards, Cfg: aem.Config{M: 1024, B: 32, Omega: omega}},
+			Updates:  nOps * 3 / 4 / shards,
+			Keyspace: keyspace / shards,
+		}
+	}
+	return &Spec{
+		ID:        "EXP-L3",
+		Index:     "deamortized flushing: bounded-stall commits vs run-to-completion cascades",
+		Statement: "the dictionary service in amortized mode (each commit batch pays whatever cascade its appends trigger, to completion) against deamortized mode (overfull nodes enter a debt queue; each batch pays at most one node-flush, and the committer retires remaining debt when the write channel is idle), swept over scenario and ω: worst and p99.9 commit-path stall, throughput, cost/op, and the debt high-water mark, next to the model's predicted worst-stall Q for each mode",
+		Title:     "serving: amortized vs deamortized flush stalls across ω",
+		Claim:     "the debt queue converts the Θ(ωM)-deferral pause from one run-to-completion cascade into bounded per-batch installments: worst stall drops by an order of magnitude at large ω while throughput holds, because the same node-flushes happen — spread across batches and idle gaps instead of convoyed",
+		Axes: []Axis{
+			{Name: "scenario", Values: []interface{}{"drift", "flashcrowd"}},
+			{Name: "omega", Values: Ints(1, 4, 16, 64)},
+			{Name: "mode", Values: []interface{}{"amortized", "deamortized"}},
+		},
+		Columns: append(
+			Cols("scenario", "ω", "mode", "ops", "ops/sec", "cost/op", "p99.9", "max stall", "p99.9 stall", "debt hw"),
+			Column{Name: "pred stall Q", Pred: func(p Point) float64 {
+				dp := stallParams(p.Int("omega"))
+				if p.Str("mode") == "deamortized" {
+					return bounds.DictDeamortizedStallPredicted(dp).Cost(p.Int("omega"))
+				}
+				return bounds.DictAmortizedStallPredicted(dp).Cost(p.Int("omega"))
+			}},
+		),
+		Point: func(p Point) Row {
+			sc, ok := workload.ScenarioByName(p.Str("scenario"))
+			if !ok {
+				panic(fmt.Sprintf("harness: EXP-L3: unknown scenario %q", p.Str("scenario")))
+			}
+			omega, mode := p.Int("omega"), p.Str("mode")
+			cfg := dictsrv.Config{
+				Shards:     shards,
+				Machine:    aem.Config{M: 1024, B: 32, Omega: omega},
+				KeyLo:      0, KeyHi: keyspace,
+				Deamortize: mode == "deamortized",
+			}
+			rep, st, lat := serveRow(cfg, sc, goroutines, nOps, Seed+42)
+			return Row{p.Str("scenario"), omega, mode, rep.Ops,
+				fmt.Sprintf("%.0f", rep.OpsPerSec()),
+				fmt.Sprintf("%.1f", float64(st.Cost)/float64(rep.Ops)),
+				FmtNS(lat.P999NS), FmtNS(st.MaxStallNS), FmtNS(st.Stalls.Quantile(0.999)),
+				st.DebtHighWater, nil}
+		},
+		Notes: []string{
+			fmt.Sprintf("single writer over %d shards at dictload scale (M=1024, B=32), %d ops per point, keyspace %d; both modes replay the identical stream — only the committer's flush policy differs", shards, nOps, keyspace),
+			"at ω=64 the root buffer (ωM = 65536 items) can swallow a balanced shard's whole update stream — flashcrowd goes quiet in both modes — but drift's migrating hot set skews the key split enough to overflow one shard's root, and that lone run-to-completion cascade is the worst cell in the table (≈100ms vs ≈1ms deamortized)",
+			"stall columns time the commit path only (Apply + at most one budgeted flush step); explicit Flush barriers are excluded, and both modes drain fully before Stats are read — total cost accounting is mode-independent up to idle-time compaction",
+			"pred stall Q is the model's worst single pause in Q = Qr + ω·Qw units; measured wall-clock ratios exceed the predicted ratio because the amortized pause also pays model-free CPU work (partitioning, merging) across the whole cascade",
+			"debt hw is the worst per-shard debt-queue depth observed right after a commit batch, before its budgeted flush step",
 		},
 	}
 }

@@ -35,6 +35,14 @@ const (
 	// invalidates the locality the buffers had accumulated, forcing the
 	// deferred work out as flush stalls.
 	DriftOps
+	// FlashCrowdOps models a sudden spike: background uniform traffic is
+	// interrupted by crowd events that concentrate ~90% of the stream on a
+	// handful of keys (insert-heavy — everyone writes the same entries),
+	// then decay geometrically back to background. The spike lands a burst
+	// of near-duplicate updates on one subtree — exactly what a write
+	// buffer absorbs well amortized, and exactly what convoys a commit
+	// loop when the absorbed burst comes back out as one cascade.
+	FlashCrowdOps
 )
 
 // String names the scenario for experiment tables and CLI flags.
@@ -50,13 +58,15 @@ func (s Scenario) String() string {
 		return "deleteheavy"
 	case DriftOps:
 		return "drift"
+	case FlashCrowdOps:
+		return "flashcrowd"
 	}
 	return fmt.Sprintf("Scenario(%d)", int(s))
 }
 
 // Scenarios lists every scenario, for table-driven tests and sweeps.
 func Scenarios() []Scenario {
-	return []Scenario{UniformOps, ZipfOps, SortedBurstOps, DeleteHeavyOps, DriftOps}
+	return []Scenario{UniformOps, ZipfOps, SortedBurstOps, DeleteHeavyOps, DriftOps, FlashCrowdOps}
 }
 
 // DictOps generates an n-operation dictionary stream over keys in
@@ -181,6 +191,53 @@ func DictOps(r *RNG, sc Scenario, n int, keyspace int64) []dict.Op {
 				default:
 					lo := key()
 					ops = append(ops, dict.Op{Kind: dict.RangeScan, Key: lo, Hi: lo + span})
+				}
+			}
+		}
+
+	case FlashCrowdOps:
+		// Uniform background traffic punctuated by crowd events. During a
+		// spike, intensity starts at ~90% (9 of 10 ops hit the crowd keys)
+		// and decays geometrically (×3/4 per slice) back to background;
+		// crowd traffic is insert-heavy with occasional lookups — the
+		// "everyone updates the same rows, some refresh them" shape.
+		bg := func() {
+			switch c := r.Intn(100); {
+			case c < 45:
+				ops = append(ops, dict.Op{Kind: dict.Insert, Key: int64(r.Intn(int(keyspace))), Value: value()})
+			case c < 60:
+				ops = append(ops, dict.Op{Kind: dict.Delete, Key: int64(r.Intn(int(keyspace)))})
+			case c < 96:
+				ops = append(ops, dict.Op{Kind: dict.Lookup, Key: int64(r.Intn(int(keyspace)))})
+			default:
+				lo := int64(r.Intn(int(keyspace)))
+				ops = append(ops, dict.Op{Kind: dict.RangeScan, Key: lo, Hi: lo + span})
+			}
+		}
+		for len(ops) < n {
+			// Calm stretch between crowds.
+			for calm := 64 + r.Intn(192); calm > 0 && len(ops) < n; calm-- {
+				bg()
+			}
+			if len(ops) >= n {
+				break
+			}
+			// A crowd forms on a few keys near a random hotspot.
+			hotN := 8 + r.Intn(9) // 8..16 crowd keys
+			base := int64(r.Intn(int(keyspace)))
+			hot := func() int64 { return (base + int64(r.Intn(hotN))) % keyspace }
+			slice := 32 + r.Intn(32)
+			for intensity := 90; intensity > 10 && len(ops) < n; intensity = intensity * 3 / 4 {
+				for i := 0; i < slice && len(ops) < n; i++ {
+					if r.Intn(100) >= intensity {
+						bg()
+						continue
+					}
+					if r.Intn(100) < 75 {
+						ops = append(ops, dict.Op{Kind: dict.Insert, Key: hot(), Value: value()})
+					} else {
+						ops = append(ops, dict.Op{Kind: dict.Lookup, Key: hot()})
+					}
 				}
 			}
 		}
